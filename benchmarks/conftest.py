@@ -1,0 +1,21 @@
+"""Pytest fixtures for the experiment benchmarks; see bench_utils."""
+
+import pytest
+
+from bench_utils import MAX_SLICES, SUITE_NAMES, SliceRecord
+from repro.workloads.suite import load_suite
+
+
+@pytest.fixture(scope="session")
+def suite_entries():
+    return load_suite(SUITE_NAMES, max_slices=MAX_SLICES)
+
+
+@pytest.fixture(scope="session")
+def suite_results(suite_entries):
+    results = {}
+    for entry in suite_entries:
+        results[entry.name] = [
+            SliceRecord(entry, criterion) for criterion in entry.criteria
+        ]
+    return results

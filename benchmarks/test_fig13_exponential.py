@@ -1,0 +1,55 @@
+"""E7 — Fig. 13 / §4.3: the worst-case exponential family.
+
+The slice of P_k generates a specialized version of Pk for every
+*nonempty* subset of {g1..gk} — 2^k - 1 versions (the paper counts the
+full power set, 2^k; the empty-need variant contributes no slice
+elements in our SDG model, a discrepancy documented in EXPERIMENTS.md).
+Either way the growth is Θ(2^k), which is what §4.3 demonstrates.
+"""
+
+import pytest
+
+from bench_utils import print_table
+from repro.core import specialization_slice
+from repro.workloads.exponential import exponential_program
+
+
+def versions(k):
+    _program, _info, sdg = exponential_program(k)
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    return result
+
+
+def test_fig13_table():
+    rows = []
+    for k in range(1, 7):
+        result = versions(k)
+        count = result.version_counts()["Pk"]
+        rows.append(
+            (
+                k,
+                count,
+                2 ** k - 1,
+                result.sdg.vertex_count(),
+                result.stats["a6_states"],
+            )
+        )
+        assert count == 2 ** k - 1
+    print_table(
+        "Fig. 13 — exponential family (paper: 2^k specializations)",
+        ["k", "Pk versions", "2^k - 1", "|R| vertices", "A6 states"],
+        rows,
+    )
+
+
+def test_output_size_exponential_in_k():
+    sizes = [versions(k).sdg.vertex_count() for k in (2, 3, 4, 5)]
+    ratios = [b / a for a, b in zip(sizes, sizes[1:])]
+    assert all(ratio > 1.5 for ratio in ratios)
+
+
+@pytest.mark.parametrize("k", [5])
+def test_benchmark_exponential_slice(benchmark, k):
+    _program, _info, sdg = exponential_program(k)
+    criterion = sdg.print_criterion()
+    benchmark(lambda: specialization_slice(sdg, criterion, contexts="empty"))

@@ -1,0 +1,66 @@
+"""E8 — Figs. 1/14: the running example's three-way comparison
+(closure slice vs polyvariant vs monovariant executable slices).
+
+Regenerates the paper's side-by-side: the closure slice's 21 elements
+(Eqn. 2), the polyvariant slice with two versions of p (Fig. 14(b)),
+and Binkley's monovariant slice with the g2 = 100 add-back
+(Fig. 14(c)).
+"""
+
+from bench_utils import print_table
+from repro.core import (
+    binkley_slice,
+    executable_program,
+    monovariant_program,
+    specialization_slice,
+)
+from repro.lang import pretty
+from repro.lang.interp import run_program
+from repro.workloads.paper_figures import load_fig1
+
+
+def test_fig14_three_way(benchmark):
+    program, _info, sdg = load_fig1()
+    criterion = sdg.print_criterion()
+
+    poly = benchmark(
+        lambda: specialization_slice(sdg, criterion, contexts="empty")
+    )
+    mono = binkley_slice(sdg, criterion)
+
+    rows = [
+        ("closure slice", len(mono.closure), "not executable (mismatches)"),
+        (
+            "polyvariant (Fig. 14b)",
+            poly.sdg.vertex_count(),
+            "p split into %d versions" % poly.version_counts()["p"],
+        ),
+        (
+            "monovariant (Fig. 14c)",
+            len(mono.slice_set),
+            "adds back: %s"
+            % sorted(sdg.vertices[v].label for v in mono.added),
+        ),
+    ]
+    print_table(
+        "Fig. 14 — closure vs polyvariant vs monovariant",
+        ["slice", "#vertices", "notes"],
+        rows,
+    )
+
+    poly_text = pretty(executable_program(poly).program)
+    mono_text = pretty(monovariant_program(sdg, mono.slice_set).program)
+    print("--- polyvariant (Fig. 14b) ---")
+    print(poly_text)
+    print("--- monovariant (Fig. 14c) ---")
+    print(mono_text)
+
+    assert poly.version_counts()["p"] == 2
+    assert "g2 = 100" in mono_text
+    assert "g2 = 100" not in poly_text
+    original = run_program(program)
+    assert run_program(executable_program(poly).program).values == original.values
+    assert (
+        run_program(monovariant_program(sdg, mono.slice_set).program).values
+        == original.values
+    )

@@ -1,0 +1,28 @@
+"""E13 — Fig. 15 / §6.2: function-pointer slicing."""
+
+from repro.core import executable_program, specialization_slice
+from repro.lang import pretty
+from repro.lang.interp import run_program
+from repro.workloads.paper_figures import load_fig15
+
+
+def test_fig15_regeneration(benchmark):
+    original, lowered, _info, sdg = load_fig15()
+    criterion = sdg.print_criterion()
+    result = benchmark(
+        lambda: specialization_slice(sdg, criterion, contexts="empty")
+    )
+    executable = executable_program(result)
+    print(pretty(executable.program))
+
+    procs = {p.name: p for p in executable.program.procs}
+    g_name = result.specializations_of("g")[0].name
+    f_name = result.specializations_of("f")[0].name
+    assert len(procs[g_name].params) == 1  # g specialized to one param
+    assert len(procs[f_name].params) == 2  # f keeps both
+
+    for inputs in ([1], [0], [-3]):
+        assert (
+            run_program(original, inputs).values
+            == run_program(executable.program, inputs).values
+        )

@@ -1,0 +1,37 @@
+"""E12 — Fig. 16 / §7: multi-procedure feature removal."""
+
+from bench_utils import print_table
+from repro.core import executable_program, remove_feature
+from repro.lang import ast_nodes as A
+from repro.lang import pretty
+from repro.lang.interp import run_program
+from repro.workloads.paper_figures import load_fig16
+
+
+def test_fig16_regeneration(benchmark):
+    program, _info, sdg = load_fig16()
+    prod_decl = next(
+        s
+        for s in A.walk_stmts(program.proc("main").body)
+        if isinstance(s, A.LocalDecl) and s.name == "prod"
+    )
+    criterion = [sdg.vertex_of_stmt[prod_decl.uid]]
+
+    result = benchmark(lambda: remove_feature(sdg, criterion, contexts="empty"))
+    executable = executable_program(result)
+    text = pretty(executable.program)
+    print(text)
+
+    tally = executable.program.proc(result.specializations_of("tally")[0].name)
+    rows = [
+        ("add retained", "int add(int a, int b)" in text),
+        ("tally params", [p.name for p in tally.params]),
+        ("mult residual kept (pre-cleanup)", result.version_counts()["mult"] == 1),
+    ]
+    print_table("Fig. 16 — feature removal", ["check", "value"], rows)
+
+    assert "prod" not in [p.name for p in tally.params]
+    original = run_program(program, max_steps=5_000_000)
+    reduced = run_program(executable.program, max_steps=5_000_000)
+    assert reduced.values == [original.values[0]]  # sum only
+    assert reduced.steps < original.steps

@@ -1,0 +1,83 @@
+"""E1 — Fig. 17: the test-program inventory table.
+
+Regenerates the paper's Fig. 17 columns (source lines, procedures, PDG
+vertices, call sites, slices taken) for our stand-in suite, side by side
+with the paper's reported numbers.  Absolute sizes differ (synthetic
+TinyC stand-ins, big programs scaled ~1/10); the relative ordering of
+program sizes should track the paper's.
+"""
+
+from bench_utils import print_table
+from repro.sdg import build_sdg
+
+
+def test_fig17_table(suite_entries):
+    rows = []
+    for entry in suite_entries:
+        rows.append(
+            (
+                entry.name,
+                entry.source_lines(),
+                len(entry.program.procs),
+                entry.sdg.vertex_count(),
+                len(entry.sdg.call_sites),
+                len(entry.criteria),
+                entry.paper["lines"],
+                entry.paper["procs"],
+                entry.paper["vertices"],
+                entry.paper["call_sites"],
+                entry.paper["slices"],
+            )
+        )
+    print_table(
+        "Fig. 17 — test programs (ours vs. paper)",
+        [
+            "program",
+            "lines",
+            "procs",
+            "PDG-verts",
+            "sites",
+            "slices",
+            "p.lines",
+            "p.procs",
+            "p.verts",
+            "p.sites",
+            "p.slices",
+        ],
+        rows,
+    )
+    assert rows
+
+
+def test_size_ordering_tracks_paper(suite_entries):
+    """Bigger paper programs should map to bigger stand-ins (Spearman-
+    style sanity on vertex counts).  The hand-written wc port is
+    excluded: the paper's wc v8.13 is full coreutils (option parsing,
+    multibyte handling) while ours is the algorithmic core."""
+    generated = [entry for entry in suite_entries if entry.name != "wc"]
+    ours = [entry.sdg.vertex_count() for entry in generated]
+    paper = [entry.paper["vertices"] for entry in generated]
+    if len(ours) < 3:
+        return
+
+    def ranks(values):
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        rank = [0] * len(values)
+        for position, index in enumerate(order):
+            rank[index] = position
+        return rank
+
+    r_ours, r_paper = ranks(ours), ranks(paper)
+    agreements = sum(
+        1
+        for i in range(len(ours))
+        for j in range(i + 1, len(ours))
+        if (r_ours[i] - r_ours[j]) * (r_paper[i] - r_paper[j]) > 0
+    )
+    total = len(ours) * (len(ours) - 1) // 2
+    assert agreements / total > 0.6
+
+
+def test_benchmark_sdg_build(benchmark, suite_entries):
+    entry = suite_entries[0]
+    benchmark(lambda: build_sdg(entry.program, entry.info))

@@ -1,0 +1,59 @@
+"""E2 — Fig. 18: distribution of the number of specialized versions per
+procedure.
+
+Paper: over all slices, ~90.6% of sliced procedures had exactly one
+version; the maximum observed was six.  We regenerate the histogram for
+our suite and check the same shape: a heavy single-version mode and a
+small maximum.
+"""
+
+from bench_utils import print_table
+from repro.core import specialization_slice
+
+
+def test_fig18_distribution(suite_results):
+    histogram = {}
+    for records in suite_results.values():
+        for record in records:
+            for proc, count in record.poly.version_counts().items():
+                if count == 0:
+                    continue  # sliced away entirely (not in the closure slice)
+                histogram[count] = histogram.get(count, 0) + 1
+    total = sum(histogram.values())
+    rows = [
+        (versions, histogram[versions], "%.1f%%" % (100.0 * histogram[versions] / total))
+        for versions in sorted(histogram)
+    ]
+    print_table(
+        "Fig. 18 — specialized versions per procedure "
+        "(paper: 90.6%% single-version, max 6)",
+        ["#versions", "#procedures", "share"],
+        rows,
+    )
+    single_share = histogram.get(1, 0) / total
+    assert single_share >= 0.5, "single-version mode should dominate"
+    assert max(histogram) <= 15, "no exponential explosion in practice"
+
+
+def test_fig18_most_procs_not_replicated(suite_results):
+    """The paper's stronger claim: replicated procedures are the
+    exception.  Our generator produces denser global coupling than real
+    C code, so the threshold is looser than 90.6%."""
+    single = 0
+    multi = 0
+    for records in suite_results.values():
+        for record in records:
+            for count in record.poly.version_counts().values():
+                if count == 1:
+                    single += 1
+                elif count > 1:
+                    multi += 1
+    assert single > multi
+
+
+def test_benchmark_specialization_slice(benchmark, suite_entries):
+    entry = suite_entries[0]
+    from bench_utils import criterion_automaton
+
+    query = criterion_automaton(entry, entry.criteria[0])
+    benchmark(lambda: specialization_slice(entry.sdg, query))

@@ -1,0 +1,68 @@
+"""E3 — Fig. 19: slice-size increase relative to the closure slice.
+
+Paper (normalized to closure = 100): monovariant executable slices
+average 107.1, polyvariant 109.4 (geometric means).  The monovariant
+extra is *extraneous* elements; the polyvariant extra is *replicated*
+closure elements.  We regenerate the per-program averages and check the
+same qualitative shape: both increases are modest, and both algorithms
+produce executable slices.
+"""
+
+from bench_utils import geometric_mean, print_table
+
+
+def test_fig19_table(suite_results):
+    rows = []
+    mono_means, poly_means = [], []
+    for name, records in suite_results.items():
+        mono = [record.mono_increase_percent() for record in records]
+        poly = [record.poly_increase_percent() for record in records]
+        mono_avg = sum(mono) / len(mono)
+        poly_avg = sum(poly) / len(poly)
+        mono_means.append(100.0 + mono_avg)
+        poly_means.append(100.0 + poly_avg)
+        rows.append(
+            (
+                name,
+                len(records),
+                "%.1f%%" % mono_avg,
+                "%.1f%%" % poly_avg,
+            )
+        )
+    mono_geo = geometric_mean(mono_means)
+    poly_geo = geometric_mean(poly_means)
+    rows.append(("geometric mean (closure=100)", "", "%.1f" % mono_geo, "%.1f" % poly_geo))
+    print_table(
+        "Fig. 19 — %% extra vertices vs closure slice "
+        "(paper: mono 107.1, poly 109.4)",
+        ["program", "slices", "monovariant", "polyvariant"],
+        rows,
+    )
+    # Shape: both modest (well under 2x), both >= 100.
+    assert 100.0 <= mono_geo < 200.0
+    assert 100.0 <= poly_geo < 200.0
+
+
+def test_poly_extra_is_replication_only(suite_results):
+    """Polyvariant never adds elements outside the closure slice
+    (the paper's soundness distinction vs Binkley)."""
+    for records in suite_results.values():
+        for record in records:
+            closure = record.poly.closure_elems()
+            assert set(record.poly.map_back_vertex.values()) <= closure
+
+
+def test_mono_extra_is_outside_closure(suite_results):
+    """Binkley's extra elements are extraneous: genuinely outside the
+    closure slice whenever present."""
+    for records in suite_results.values():
+        for record in records:
+            assert record.mono.added.isdisjoint(record.mono.closure)
+
+
+def test_benchmark_binkley(benchmark, suite_entries):
+    from repro.core import binkley_slice
+
+    entry = suite_entries[0]
+    vertices = {vid for vid, _ctx in entry.criteria[0]}
+    benchmark(lambda: binkley_slice(entry.sdg, vertices))

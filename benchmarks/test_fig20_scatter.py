@@ -1,0 +1,68 @@
+"""E4 — Fig. 20: per-procedure size scatter (polyvariant vs monovariant).
+
+For every specialized PDG p_k in every polyvariant slice, the paper
+plots (x, y) = (% of the original procedure's vertices in p_k, % in the
+monovariant version of p).  Points cluster on/below the 45-degree line;
+the geometric mean of x/y is 93% (specialized versions are no larger,
+often smaller).
+"""
+
+from bench_utils import geometric_mean, print_table
+
+
+def scatter_points(suite_results):
+    points = []
+    for name, records in suite_results.items():
+        for record in records:
+            sdg = record.poly.source_sdg
+            orig_sizes = {
+                proc: len(vids) for proc, vids in sdg.proc_vertices.items()
+            }
+            mono_by_proc = {}
+            for vid in record.mono.slice_set:
+                proc = sdg.vertices[vid].proc
+                mono_by_proc[proc] = mono_by_proc.get(proc, 0) + 1
+            for spec in record.poly.pdgs.values():
+                x = 100.0 * len(spec.orig_vertices) / orig_sizes[spec.proc]
+                y = 100.0 * mono_by_proc.get(spec.proc, 0) / orig_sizes[spec.proc]
+                points.append((name, spec.proc, x, y))
+    return points
+
+
+def test_fig20_scatter(suite_results):
+    points = scatter_points(suite_results)
+    assert points
+    ratios = [x / y for _n, _p, x, y in points if y > 0]
+    geo = geometric_mean(ratios)
+    above = sum(1 for _n, _p, x, y in points if x > y + 1e-9)
+    rows = [
+        (
+            "points",
+            len(points),
+        ),
+        ("geo-mean poly%/mono%", "%.1f%%" % (100.0 * geo)),
+        ("points above diagonal", above),
+    ]
+    print_table(
+        "Fig. 20 — per-PDG size scatter (paper geo-mean: 93%)",
+        ["metric", "value"],
+        rows,
+    )
+    # Shape: specialized PDGs are never larger than the monovariant
+    # version of the same procedure (they are subsets by construction),
+    # so the ratio must be <= 100% and typically below.
+    assert above == 0
+    assert geo <= 1.0
+
+
+def test_specialized_pdgs_subset_of_monovariant(suite_results):
+    """Pointwise version of the Fig. 20 claim: each specialization's
+    element set is a subset of Binkley's union for that procedure."""
+    for records in suite_results.values():
+        for record in records:
+            for spec in record.poly.pdgs.values():
+                assert spec.orig_vertices <= record.mono.slice_set
+
+
+def test_benchmark_scatter_extraction(benchmark, suite_results):
+    benchmark(lambda: scatter_points(suite_results))

@@ -1,0 +1,71 @@
+"""E5 — Fig. 21: slicing times, monovariant vs polyvariant.
+
+Paper: polyvariant executable slicing was ~2.7x slower than monovariant
+on the small programs and ~4.7x on the large ones, with the PDS/FSA
+operations a fraction of the total.  We regenerate the per-program
+timing table and check polyvariant is slower but within the same order
+of magnitude; pytest-benchmark provides the statistically robust
+measurements for one representative program of each size class.
+"""
+
+from bench_utils import geometric_mean, print_table
+from repro.core import binkley_slice, specialization_slice
+
+
+def test_fig21_table(suite_results):
+    rows = []
+    ratios = []
+    for name, records in suite_results.items():
+        mono_avg = sum(r.mono_seconds for r in records) / len(records)
+        poly_avg = sum(r.poly_seconds for r in records) / len(records)
+        automaton_avg = sum(
+            r.poly.stats["prestar_seconds"] + r.poly.stats["automaton_seconds"]
+            for r in records
+        ) / len(records)
+        if mono_avg > 0:
+            ratios.append(poly_avg / mono_avg)
+        rows.append(
+            (
+                name,
+                "%.4f" % mono_avg,
+                "%.4f" % poly_avg,
+                "%.4f" % automaton_avg,
+                "%.1fx" % (poly_avg / mono_avg if mono_avg else 0.0),
+            )
+        )
+    rows.append(
+        ("geo-mean slowdown", "", "", "", "%.1fx" % geometric_mean(ratios))
+    )
+    print_table(
+        "Fig. 21 — slicing time (seconds; paper: poly 2.7-4.7x mono)",
+        ["program", "mono", "poly", "PDS+FSA ops", "poly/mono"],
+        rows,
+    )
+    slowdown = geometric_mean(ratios)
+    # Shape: polyvariant costs more, but not catastrophically.
+    assert slowdown > 1.0
+    assert slowdown < 200.0
+
+
+def test_automaton_ops_included_in_total(suite_results):
+    for records in suite_results.values():
+        for record in records:
+            stats = record.poly.stats
+            assert (
+                stats["prestar_seconds"] + stats["automaton_seconds"]
+                <= stats["total_seconds"] + 1e-9
+            )
+
+
+def test_benchmark_poly_small(benchmark, suite_entries):
+    entry = suite_entries[0]
+    from bench_utils import criterion_automaton
+
+    query = criterion_automaton(entry, entry.criteria[0])
+    benchmark(lambda: specialization_slice(entry.sdg, query))
+
+
+def test_benchmark_mono_small(benchmark, suite_entries):
+    entry = suite_entries[0]
+    vertices = {vid for vid, _ctx in entry.criteria[0]}
+    benchmark(lambda: binkley_slice(entry.sdg, vertices))

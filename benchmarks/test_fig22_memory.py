@@ -1,0 +1,68 @@
+"""E6 — Fig. 22: peak memory, monovariant vs polyvariant.
+
+Paper: both algorithms use comparable space in the SDG process; the
+PDS/FSA machinery adds its own share, dominated by Prestar.  We measure
+peak tracemalloc bytes during each algorithm and regenerate the table.
+"""
+
+import tracemalloc
+
+from bench_utils import print_table
+from repro.core import specialization_slice
+from repro.pds import encode_sdg, prestar
+from repro.core.criteria import empty_stack_criterion
+
+
+def test_fig22_table(suite_results):
+    rows = []
+    for name, records in suite_results.items():
+        mono_avg = sum(r.mono_peak_bytes for r in records) / len(records)
+        poly_avg = sum(r.poly_peak_bytes for r in records) / len(records)
+        rows.append(
+            (
+                name,
+                "%.2f" % (mono_avg / 1e6),
+                "%.2f" % (poly_avg / 1e6),
+                "%.1fx" % (poly_avg / mono_avg if mono_avg else 0.0),
+            )
+        )
+    print_table(
+        "Fig. 22 — peak memory (MB; paper: poly uses more, Prestar dominates)",
+        ["program", "mono peak", "poly peak", "ratio"],
+        rows,
+    )
+    assert rows
+
+
+def test_prestar_dominates_poly_memory(suite_entries):
+    """§8.2: 'the peak memory usage for PDS and FSA operations occurred
+    during Prestar'.  Compare Prestar's peak against the later automaton
+    pipeline on one program."""
+    entry = suite_entries[0]
+    criterion_vertices = [vid for vid, _ctx in entry.criteria[0]]
+    encoding = encode_sdg(entry.sdg)
+    query = empty_stack_criterion(encoding, criterion_vertices[:1])
+
+    tracemalloc.start()
+    prestar(encoding.pds, query)
+    _cur, prestar_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert prestar_peak > 0
+
+
+def test_benchmark_memory_probe(benchmark, suite_entries):
+    entry = suite_entries[0]
+
+    from bench_utils import criterion_automaton
+
+    query = criterion_automaton(entry, entry.criteria[0])
+
+    def run():
+        tracemalloc.start()
+        specialization_slice(entry.sdg, query)
+        usage = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return usage
+
+    benchmark(run)

@@ -1,0 +1,26 @@
+"""E15 — §8.3: the reslicing validation check over the suite.
+
+The paper's implementation ran this check after every slice; a failure
+indicates an implementation bug.  We run it over every quick-suite slice
+(and the full suite under REPRO_BENCH_FULL=1).
+"""
+
+from bench_utils import print_table
+from repro.core import reslice_check
+
+
+def test_reslice_suite(suite_results):
+    rows = []
+    for name, records in suite_results.items():
+        passed = 0
+        for record in records:
+            if reslice_check(record.poly):
+                passed += 1
+        rows.append((name, "%d/%d" % (passed, len(records))))
+        assert passed == len(records), name
+    print_table("§8.3 — reslicing check", ["program", "passed"], rows)
+
+
+def test_benchmark_reslice(benchmark, suite_results):
+    record = next(iter(suite_results.values()))[0]
+    benchmark(lambda: reslice_check(record.poly))

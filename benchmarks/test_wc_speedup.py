@@ -1,0 +1,78 @@
+"""E11 — §5: executable slices of wc run faster than wc.
+
+Paper: slices of wc w.r.t. its printf calls took 32.5% of the original's
+time (geometric mean).  Wall-clock on an interpreter measures mostly
+interpreter overhead, so we use interpreter *step counts* — the same
+"work avoided" quantity without OS noise — and additionally benchmark
+one slice end-to-end.
+"""
+
+from bench_utils import geometric_mean, print_table
+from repro.core import executable_program, specialization_slice
+from repro.lang.interp import run_program
+from repro.workloads.wc import load_wc, text_to_inputs
+
+TEXT = (
+    "the quick brown fox jumps over the lazy dog\n"
+    "pack my box with five dozen liquor jugs\n"
+    "\n"
+    "sphinx of black quartz judge my vow\n"
+) * 8
+
+
+def test_wc_speedup_table():
+    program, _info, sdg = load_wc()
+    inputs = text_to_inputs(TEXT)
+    original = run_program(program, inputs)
+    labels = ["lines", "words", "chars", "longest"]
+    rows = []
+    ratios = []
+    for label, print_vid in zip(labels, sdg.print_call_vertices()):
+        criterion = sdg.print_criterion([print_vid])
+        result = specialization_slice(sdg, criterion)
+        executable = executable_program(result)
+        sliced = run_program(executable.program, inputs)
+        ratio = sliced.steps / original.steps
+        ratios.append(ratio)
+        rows.append(
+            (
+                label,
+                original.steps,
+                sliced.steps,
+                "%.1f%%" % (100.0 * ratio),
+            )
+        )
+    geo = geometric_mean(ratios)
+    rows.append(("geometric mean", "", "", "%.1f%%" % (100.0 * geo)))
+    print_table(
+        "§5 — wc slice work vs original (paper: 32.5% of original time)",
+        ["criterion", "orig steps", "slice steps", "ratio"],
+        rows,
+    )
+    assert geo < 0.9  # real savings
+    assert min(ratios) < 0.75  # at least one slice drops a lot of work
+
+
+def test_wc_slices_all_faithful():
+    program, _info, sdg = load_wc()
+    inputs = text_to_inputs(TEXT)
+    original = run_program(program, inputs)
+    expected = [
+        TEXT.count("\n"),
+        len(TEXT.split()),
+        len(TEXT),
+        max(len(line) for line in TEXT.split("\n")),
+    ]
+    assert original.values == expected
+    for index, print_vid in enumerate(sdg.print_call_vertices()):
+        criterion = sdg.print_criterion([print_vid])
+        result = specialization_slice(sdg, criterion)
+        executable = executable_program(result)
+        sliced = run_program(executable.program, inputs)
+        assert sliced.values == [expected[index]]
+
+
+def test_benchmark_wc_line_slice(benchmark):
+    _program, _info, sdg = load_wc()
+    criterion = sdg.print_criterion([sdg.print_call_vertices()[0]])
+    benchmark(lambda: specialization_slice(sdg, criterion))

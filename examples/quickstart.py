@@ -1,0 +1,68 @@
+"""Quickstart: specialization slicing in five steps.
+
+Runs Algorithm 1 on the paper's running example (Fig. 1(a)) and prints
+the polyvariant executable slice (Fig. 1(b)): procedure ``p`` splits
+into a one-parameter and a two-parameter version.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro.core import executable_program, specialization_slice
+from repro.lang import check, parse, pretty
+from repro.lang.interp import run_program
+from repro.sdg import build_sdg
+
+SOURCE = """
+int g1;
+int g2;
+int g3;
+
+void p(int a, int b) {
+  g1 = a;
+  g2 = b;
+  g3 = g2;
+}
+
+int main() {
+  g2 = 100;
+  p(g2, 2);
+  p(g2, 3);
+  p(4, g1 + g2);
+  print("%d", g2);
+  return 0;
+}
+"""
+
+
+def main():
+    # 1. Parse and check the subject program.
+    program = parse(SOURCE)
+    info = check(program)
+
+    # 2. Build its system dependence graph.
+    sdg = build_sdg(program, info)
+    print("SDG: %d vertices, %d edges" % (sdg.vertex_count(), sdg.edge_count()))
+
+    # 3. Pick a slicing criterion: the actual parameters of the print.
+    criterion = sdg.print_criterion()
+
+    # 4. Run Algorithm 1 (PDS encoding -> Prestar -> MRD -> read-out).
+    result = specialization_slice(sdg, criterion)
+    print("Specialized versions per procedure:", result.version_counts())
+    print("Automaton sizes: A1=%d states, A6=%d states" % (
+        result.stats["a1_states"], result.stats["a6_states"]))
+
+    # 5. Render the executable slice and run both programs.
+    executable = executable_program(result)
+    print("\n--- polyvariant executable slice ---")
+    print(pretty(executable.program))
+
+    original = run_program(program)
+    sliced = run_program(executable.program)
+    print("original prints:", original.values)
+    print("slice prints:   ", sliced.values)
+    assert original.values == sliced.values
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs (which require ``bdist_wheel``) fail.  This shim
+enables the legacy ``setup.py develop`` editable-install path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""Specialization slicing (Aung, Horwitz, Joiner, Reps; PLDI 2014).
+
+A from-scratch reproduction: TinyC front end, SDG construction,
+pushdown-system machinery, and the polyvariant specialization-slicing
+algorithm with all of the paper's companions (feature removal,
+function-pointer support, baselines, binding-time analysis).
+
+The subpackages expose the full API; this module adds the one-call
+conveniences most users want:
+
+    import repro
+    sliced = repro.slice_source(source)      # polyvariant slice, ready to run
+    print(repro.pretty(sliced.program))
+"""
+
+__version__ = "1.0.0"
+
+from repro.lang import check, parse, pretty
+from repro.lang.interp import run_program
+
+
+def load_source(source):
+    """Parse + check + build the SDG for TinyC ``source``; lowers
+    indirect calls if present.  Returns ``(program, info, sdg)``."""
+    from repro.core import lower_indirect_calls
+    from repro.sdg import build_sdg
+
+    program = parse(source)
+    info = check(program)
+    if info.has_indirect_calls:
+        program, info = lower_indirect_calls(program, info)
+    sdg = build_sdg(program, info)
+    return program, info, sdg
+
+
+def slice_source(source, print_index=None, contexts="reachable"):
+    """One-call specialization slicing.
+
+    Args:
+        source: TinyC source text.
+        print_index: slice w.r.t. the N-th print statement (all prints
+            if None).
+        contexts: ``"reachable"`` or ``"empty"``.
+
+    Returns:
+        an :class:`repro.core.executable.ExecutableSlice` with the
+        runnable slice and a ``result`` attribute holding the full
+        :class:`repro.core.SpecializationResult`.
+    """
+    from repro.core import executable_program, specialization_slice
+
+    _program, _info, sdg = load_source(source)
+    prints = sdg.print_call_vertices()
+    if print_index is None:
+        criterion = sdg.print_criterion()
+    else:
+        criterion = sdg.print_criterion([prints[print_index]])
+    result = specialization_slice(sdg, criterion, contexts=contexts)
+    executable = executable_program(result)
+    executable.result = result
+    return executable
+
+
+def remove_feature_source(source, feature_text, clean=True):
+    """One-call feature removal: delete everything influenced by the
+    statements whose label contains ``feature_text``; optionally run
+    the §7 useless-code-elimination post-pass.
+
+    Returns an :class:`ExecutableSlice`.
+    """
+    from repro.core import remove_feature
+    from repro.core.cleanup import clean_feature_removal
+    from repro.core.executable import executable_program
+
+    _program, _info, sdg = load_source(source)
+    seeds = {
+        vid
+        for vid, vertex in sdg.vertices.items()
+        if vertex.kind in ("statement", "call") and feature_text in vertex.label
+    }
+    if not seeds:
+        raise ValueError("no statement matches %r" % feature_text)
+    result = remove_feature(sdg, seeds)
+    if clean:
+        _raw, cleaned = clean_feature_removal(result)
+        cleaned.result = result
+        return cleaned
+    executable = executable_program(result)
+    executable.result = result
+    return executable
+
+
+__all__ = [
+    "__version__",
+    "check",
+    "load_source",
+    "parse",
+    "pretty",
+    "remove_feature_source",
+    "run_program",
+    "slice_source",
+]

@@ -1,0 +1,87 @@
+"""A generic control-flow graph.
+
+The PDG builder constructs one CFG per procedure whose nodes are the
+future PDG vertices (statements, predicates, actual-in/out, formal-in/out
+nodes), so dataflow results transfer directly onto dependence edges.
+
+Two kinds of edges are distinguished:
+
+* *executable* edges — real control flow;
+* *fall-through* (non-executable) edges — the Ball–Horwitz augmentation
+  for jump statements (``return``, ``exit``, and calls that may not
+  return).  Control dependence is computed on the *augmented* graph
+  (executable + fall-through) so that jump pseudo-predicates acquire the
+  control-dependence successors slicing needs, while reaching definitions
+  use only executable edges so no spurious dataflow crosses a jump.
+"""
+
+
+class ControlFlowGraph(object):
+    """A directed graph with distinguished entry/exit and edge kinds."""
+
+    def __init__(self, entry, exit):
+        self.entry = entry
+        self.exit = exit
+        self.nodes = set([entry, exit])
+        self._succ = {entry: [], exit: []}
+        self._pred = {entry: [], exit: []}
+        self._fallthrough = set()  # subset of edges, as (src, dst) pairs
+
+    def add_node(self, node):
+        if node not in self.nodes:
+            self.nodes.add(node)
+            self._succ[node] = []
+            self._pred[node] = []
+
+    def add_edge(self, src, dst, fallthrough=False):
+        """Add edge ``src -> dst``.  ``fallthrough=True`` marks the edge as
+        non-executable (Ball–Horwitz pseudo-edge).  If the same edge is
+        added both ways, executable wins — real control flow subsumes
+        the pseudo-edge."""
+        self.add_node(src)
+        self.add_node(dst)
+        is_new = dst not in self._succ[src]
+        if is_new:
+            self._succ[src].append(dst)
+            self._pred[dst].append(src)
+        if fallthrough:
+            if is_new:
+                self._fallthrough.add((src, dst))
+        else:
+            self._fallthrough.discard((src, dst))
+
+    def successors(self, node, include_fallthrough=True):
+        if include_fallthrough:
+            return list(self._succ[node])
+        return [dst for dst in self._succ[node] if (node, dst) not in self._fallthrough]
+
+    def predecessors(self, node, include_fallthrough=True):
+        if include_fallthrough:
+            return list(self._pred[node])
+        return [src for src in self._pred[node] if (src, node) not in self._fallthrough]
+
+    def edges(self, include_fallthrough=True):
+        for src in self.nodes:
+            for dst in self.successors(src, include_fallthrough):
+                yield (src, dst)
+
+    def reachable_from(self, start, include_fallthrough=True):
+        """Nodes reachable from ``start`` (forward)."""
+        seen = set([start])
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for succ in self.successors(node, include_fallthrough):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def __repr__(self):
+        return "ControlFlowGraph(%d nodes, %d edges)" % (
+            len(self.nodes),
+            sum(len(s) for s in self._succ.values()),
+        )

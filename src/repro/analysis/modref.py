@@ -1,0 +1,453 @@
+"""Interprocedural side-effect analysis: MayRef / MayMod / MustMod.
+
+Following Cooper & Kennedy (as the paper's SDG definition prescribes),
+each procedure is summarized by the set of *caller-visible* locations it
+may read, may write, and definitely writes.  Caller-visible locations
+are global variables and ``ref`` parameters; value parameters and locals
+are internal.
+
+Effects propagate transitively over the call graph, translating a
+callee's ``ref``-parameter effects to the caller's actual variables at
+each call site (a global, one of the caller's own ``ref`` parameters, or
+a caller-internal local — dropped from the caller's summary in the last
+case, though the call site itself still defines/uses the local, which the
+PDG builder models with actual-in/out vertices).
+
+* MayRef / MayMod: least fixpoint (start empty, grow).
+* MustMod: greatest fixpoint (start full, shrink), evaluated by a forward
+  must-be-assigned dataflow pass over a statement-level CFG per procedure
+  — must-definedness is path-sensitive ("assigned on every path that
+  returns normally"), so a flow-insensitive union would be unsound in the
+  presence of early returns.
+"""
+
+from repro.analysis.callgraph import _call_of, build_call_graph
+from repro.lang import ast_nodes as A
+
+#: Pseudo-location modeling the program's input stream.  Every
+#: ``input()`` reads and advances the stream, so it both uses and
+#: (strongly) defines ``$input``; the resulting def-use chain keeps all
+#: earlier reads in any slice that keeps a later one — without it,
+#: slicing away a read would shift the stream under the remaining ones.
+INPUT = "$input"
+
+
+class ModRefInfo(object):
+    """Per-procedure side-effect summaries.
+
+    Each summary is a set of names; a name is either a global variable
+    or one of the procedure's own ``ref`` parameters (the two namespaces
+    are disjoint — semantic analysis forbids shadowing).
+    """
+
+    def __init__(self):
+        self.may_ref = {}  # flow-insensitive: any read anywhere
+        self.may_mod = {}
+        self.must_mod = {}
+        self.exposed_ref = {}  # flow-sensitive: reads not preceded by a must-def
+
+    def ref_in_globals(self, proc_name, global_names):
+        """The globals needing an actual-in/formal-in for calls to
+        ``proc_name``: MayRef ∪ (MayMod − MustMod), restricted to
+        globals (Horwitz et al. 1990).  MayRef here means *upwards-
+        exposed* reads — a global always overwritten before being read
+        needs no formal-in (cf. Fig. 3, where ``p`` has no ``g2_in``
+        despite ``g3 = g2``).  ``$input`` counts as a global."""
+        names = set(global_names) | {INPUT}
+        exposed = self.exposed_ref[proc_name] & names
+        weak_mod = (self.may_mod[proc_name] - self.must_mod[proc_name]) & names
+        return exposed | weak_mod
+
+    def mod_out_globals(self, proc_name, global_names):
+        """The globals needing an actual-out/formal-out for calls to
+        ``proc_name``: MayMod, restricted to globals (plus ``$input``)."""
+        return self.may_mod[proc_name] & (set(global_names) | {INPUT})
+
+
+def compute_modref(program, info, call_graph=None):
+    """Compute :class:`ModRefInfo` for a checked program."""
+    if call_graph is None:
+        call_graph = build_call_graph(program)
+    result = ModRefInfo()
+    ref_params = {
+        proc.name: {p.name for p in proc.params if p.kind == "ref"}
+        for proc in program.procs
+    }
+    universe = {
+        proc.name: set(info.global_names) | {INPUT} | ref_params[proc.name]
+        for proc in program.procs
+    }
+
+    _compute_may(program, info, call_graph, ref_params, result)
+    _compute_must(program, info, call_graph, ref_params, universe, result)
+    _compute_exposed(program, info, call_graph, universe, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# May analyses (flow-insensitive least fixpoint)
+# ---------------------------------------------------------------------------
+
+
+def _direct_effects(proc, info, ref_params):
+    """(ref, mod) sets from the procedure's own statements, ignoring the
+    effects of callees (those are translated during the fixpoint)."""
+    visible = set(info.global_names) | ref_params[proc.name]
+    ref, mod = set(), set()
+
+    def note_reads(expr, skip_call_args=False):
+        ref.update(A.expr_vars(expr, include_call_args=not skip_call_args) & visible)
+
+    for stmt in A.walk_stmts(proc.body):
+        call, _captures, _target = _call_of(stmt)
+        if isinstance(stmt, (A.Assign, A.LocalDecl)):
+            target = stmt.name if isinstance(stmt, A.Assign) else None
+            if target in visible:
+                mod.add(target)
+            expr = stmt.expr if isinstance(stmt, A.Assign) else stmt.init
+            if isinstance(expr, A.InputExpr):
+                ref.add(INPUT)
+                mod.add(INPUT)
+            elif expr is not None and not isinstance(expr, A.CallExpr):
+                note_reads(expr)
+        elif isinstance(stmt, (A.If, A.While)):
+            note_reads(stmt.cond)
+        elif isinstance(stmt, A.Return):
+            if stmt.expr is not None:
+                note_reads(stmt.expr)
+        elif isinstance(stmt, A.Print):
+            for arg in stmt.args:
+                note_reads(arg)
+        elif isinstance(stmt, A.ExitStmt):
+            if stmt.arg is not None:
+                note_reads(stmt.arg)
+        if call is not None:
+            # Value arguments are read by the caller when evaluated;
+            # ref arguments are read/written only per callee summaries.
+            for arg, kind in _args_with_kinds(call, info):
+                if kind != "ref":
+                    note_reads(arg)
+    return ref, mod
+
+
+def _args_with_kinds(call, info):
+    callee = info.procs[call.callee].proc
+    return [(arg, param.kind) for arg, param in zip(call.args, callee.params)]
+
+
+def _translate(names, site, info, caller_visible):
+    """Translate a callee summary through a call site into the caller's
+    name space, dropping caller-internal locals."""
+    callee = info.procs[site.callee].proc
+    param_kinds = {p.name: p.kind for p in callee.params}
+    actual_of = {
+        p.name: arg for p, arg in zip(callee.params, site.call.args)
+    }
+    out = set()
+    for name in names:
+        if name in info.global_names or name == INPUT:
+            out.add(name)
+        elif param_kinds.get(name) == "ref":
+            actual = actual_of[name]
+            if isinstance(actual, A.Var) and actual.name in caller_visible:
+                out.add(actual.name)
+    return out
+
+
+def _compute_may(program, info, call_graph, ref_params, result):
+    direct = {}
+    for proc in program.procs:
+        ref, mod = _direct_effects(proc, info, ref_params)
+        direct[proc.name] = (ref, mod)
+        result.may_ref[proc.name] = set(ref)
+        result.may_mod[proc.name] = set(mod)
+
+    changed = True
+    while changed:
+        changed = False
+        for proc in program.procs:
+            caller_visible = set(info.global_names) | ref_params[proc.name]
+            new_ref = set(direct[proc.name][0])
+            new_mod = set(direct[proc.name][1])
+            for site in call_graph.calls_from[proc.name]:
+                new_ref |= _translate(
+                    result.may_ref[site.callee], site, info, caller_visible
+                )
+                new_mod |= _translate(
+                    result.may_mod[site.callee], site, info, caller_visible
+                )
+            if new_ref != result.may_ref[proc.name]:
+                result.may_ref[proc.name] = new_ref
+                changed = True
+            if new_mod != result.may_mod[proc.name]:
+                result.may_mod[proc.name] = new_mod
+                changed = True
+
+
+# ---------------------------------------------------------------------------
+# MustMod (flow-sensitive greatest fixpoint)
+# ---------------------------------------------------------------------------
+
+
+class _StmtGraph(object):
+    """A small statement-level CFG used only for the must-mod dataflow.
+
+    Nodes: ``"entry"``, ``"ret"`` (normal-return join), ``"halt"``
+    (process termination via exit()), and statement uids.
+    """
+
+    def __init__(self, proc):
+        self.succ = {"entry": [], "ret": [], "halt": []}
+        self.stmts = {}
+        last = self._wire_block(proc.body, ["entry"])
+        for node in last:
+            self._edge(node, "ret")
+
+    def _edge(self, src, dst):
+        self.succ.setdefault(src, [])
+        self.succ.setdefault(dst, [])
+        if dst not in self.succ[src]:
+            self.succ[src].append(dst)
+
+    def _wire_block(self, block, dangling):
+        """Wire ``block`` after the ``dangling`` open ends; returns the
+        new dangling ends."""
+        for stmt in block.stmts:
+            self.stmts[stmt.uid] = stmt
+            for node in dangling:
+                self._edge(node, stmt.uid)
+            if isinstance(stmt, A.Return):
+                self._edge(stmt.uid, "ret")
+                dangling = []
+            elif isinstance(stmt, A.ExitStmt):
+                self._edge(stmt.uid, "halt")
+                dangling = []
+            elif isinstance(stmt, A.If):
+                then_ends = self._wire_block(stmt.then, [stmt.uid])
+                if stmt.els is not None:
+                    else_ends = self._wire_block(stmt.els, [stmt.uid])
+                else:
+                    else_ends = [stmt.uid]
+                dangling = then_ends + else_ends
+            elif isinstance(stmt, A.While):
+                body_ends = self._wire_block(stmt.body, [stmt.uid])
+                for node in body_ends:
+                    self._edge(node, stmt.uid)
+                dangling = [stmt.uid]
+            else:
+                dangling = [stmt.uid]
+            if not dangling:
+                # Code after a return/exit is unreachable; stop wiring but
+                # keep walking so nested uids register.
+                remaining = block.stmts[block.stmts.index(stmt) + 1 :]
+                for rest in remaining:
+                    self.stmts[rest.uid] = rest
+                break
+        return dangling
+
+
+def _must_defs_of_stmt(stmt, info, ref_params_of_caller, caller_name, must_mod, caller_visible):
+    """Caller-visible names this statement definitely assigns."""
+    call, captures, target = _call_of(stmt)
+    out = set()
+    if isinstance(stmt, A.Assign) and stmt.name in caller_visible:
+        out.add(stmt.name)
+    if isinstance(stmt, (A.Assign, A.LocalDecl)):
+        expr = stmt.expr if isinstance(stmt, A.Assign) else stmt.init
+        if isinstance(expr, A.InputExpr):
+            out.add(INPUT)
+    if call is not None:
+        # Translate the callee's current must-mod estimate.
+        callee = info.procs[call.callee].proc
+        param_kinds = {p.name: p.kind for p in callee.params}
+        actual_of = {p.name: arg for p, arg in zip(callee.params, call.args)}
+        for name in must_mod[call.callee]:
+            if name in info.global_names or name == INPUT:
+                out.add(name)
+            elif param_kinds.get(name) == "ref":
+                actual = actual_of[name]
+                if isinstance(actual, A.Var) and actual.name in caller_visible:
+                    out.add(actual.name)
+    return out
+
+
+def _compute_must(program, info, call_graph, ref_params, universe, result):
+    must_mod = {name: set(values) for name, values in universe.items()}
+    graphs = {proc.name: _StmtGraph(proc) for proc in program.procs}
+
+    changed = True
+    while changed:
+        changed = False
+        for proc in program.procs:
+            new = _must_at_return(proc, graphs[proc.name], info, must_mod, universe)
+            if new != must_mod[proc.name]:
+                must_mod[proc.name] = new
+                changed = True
+    result.must_mod = must_mod
+
+
+def _must_at_return(proc, graph, info, must_mod, universe):
+    """Run the forward must-be-assigned dataflow, returning the set of
+    names definitely assigned at the normal-return join."""
+    caller_visible = universe[proc.name]
+    full = set(caller_visible)
+    in_sets = {node: set(full) for node in graph.succ}
+    in_sets["entry"] = set()
+    out_sets = {}
+    for node in graph.succ:
+        out_sets[node] = set(full)
+
+    worklist = ["entry"]
+    while worklist:
+        node = worklist.pop()
+        if node in ("ret", "halt"):
+            continue
+        if node == "entry":
+            defs = set()
+        else:
+            stmt = graph.stmts[node]
+            defs = _must_defs_of_stmt(
+                stmt, info, None, proc.name, must_mod, caller_visible
+            )
+        new_out = in_sets[node] | defs
+        if new_out != out_sets[node]:
+            out_sets[node] = new_out
+            for succ in graph.succ[node]:
+                merged = None
+                preds = [p for p in graph.succ if succ in graph.succ[p]]
+                for pred in preds:
+                    if merged is None:
+                        merged = set(out_sets[pred])
+                    else:
+                        merged &= out_sets[pred]
+                in_sets[succ] = merged if merged is not None else set()
+                worklist.append(succ)
+
+    preds_of_ret = [p for p in graph.succ if "ret" in graph.succ[p]]
+    if not preds_of_ret:
+        # The procedure never returns normally: must-mod is vacuous.
+        return set(full)
+    merged = None
+    for pred in preds_of_ret:
+        if merged is None:
+            merged = set(out_sets[pred])
+        else:
+            merged &= out_sets[pred]
+    return merged if merged is not None else set()
+
+
+# ---------------------------------------------------------------------------
+# Upwards-exposed references (flow-sensitive least fixpoint)
+# ---------------------------------------------------------------------------
+
+
+def _node_reads(stmt, info, caller_visible, exposed, must_in):
+    """Caller-visible names this statement may read *exposed to entry*:
+    its own expression reads, plus the callee's exposed reads translated
+    through the call site — minus whatever is already must-defined on
+    every path to this node."""
+    reads = set()
+
+    def note(expr, include_call_args=True):
+        reads.update(
+            A.expr_vars(expr, include_call_args=include_call_args) & caller_visible
+        )
+
+    call, _captures, _target = _call_of(stmt)
+    if isinstance(stmt, (A.Assign, A.LocalDecl)):
+        expr = stmt.expr if isinstance(stmt, A.Assign) else stmt.init
+        if isinstance(expr, A.InputExpr):
+            reads.add(INPUT)
+        elif expr is not None and not isinstance(expr, A.CallExpr):
+            note(expr)
+    elif isinstance(stmt, (A.If, A.While)):
+        note(stmt.cond)
+    elif isinstance(stmt, A.Return):
+        if stmt.expr is not None:
+            note(stmt.expr)
+    elif isinstance(stmt, A.Print):
+        for arg in stmt.args:
+            note(arg)
+    elif isinstance(stmt, A.ExitStmt):
+        if stmt.arg is not None:
+            note(stmt.arg)
+    if call is not None:
+        callee = info.procs[call.callee].proc
+        param_kinds = {p.name: p.kind for p in callee.params}
+        actual_of = {p.name: arg for p, arg in zip(callee.params, call.args)}
+        for arg, param in zip(call.args, callee.params):
+            if param.kind != "ref":
+                note(arg)
+        for name in exposed[call.callee]:
+            if name in info.global_names or name == INPUT:
+                reads.add(name)
+            elif param_kinds.get(name) == "ref":
+                actual = actual_of[name]
+                if isinstance(actual, A.Var) and actual.name in caller_visible:
+                    reads.add(actual.name)
+    return reads - must_in
+
+
+def _must_in_per_node(proc, graph, info, must_mod, caller_visible):
+    """Forward must-be-assigned dataflow, returning MUST_IN per node
+    (set of names definitely assigned on every path reaching the node's
+    entry)."""
+    full = set(caller_visible)
+    in_sets = {node: set(full) for node in graph.succ}
+    in_sets["entry"] = set()
+    out_sets = {node: set(full) for node in graph.succ}
+    changed = True
+    while changed:
+        changed = False
+        for node in graph.succ:
+            if node == "entry":
+                defs = set()
+            elif node in ("ret", "halt"):
+                continue
+            else:
+                defs = _must_defs_of_stmt(
+                    graph.stmts[node], info, None, proc.name, must_mod, caller_visible
+                )
+            preds = [p for p in graph.succ if node in graph.succ[p]]
+            if node != "entry":
+                merged = None
+                for pred in preds:
+                    if merged is None:
+                        merged = set(out_sets[pred])
+                    else:
+                        merged &= out_sets[pred]
+                new_in = merged if merged is not None else set(full)
+                if new_in != in_sets[node]:
+                    in_sets[node] = new_in
+                    changed = True
+            new_out = in_sets[node] | defs
+            if new_out != out_sets[node]:
+                out_sets[node] = new_out
+                changed = True
+    return in_sets
+
+
+def _compute_exposed(program, info, call_graph, universe, result):
+    """Least fixpoint of the upwards-exposed reference sets."""
+    graphs = {proc.name: _StmtGraph(proc) for proc in program.procs}
+    must_in = {}
+    for proc in program.procs:
+        must_in[proc.name] = _must_in_per_node(
+            proc, graphs[proc.name], info, result.must_mod, universe[proc.name]
+        )
+
+    exposed = {proc.name: set() for proc in program.procs}
+    changed = True
+    while changed:
+        changed = False
+        for proc in program.procs:
+            visible = universe[proc.name]
+            new = set()
+            graph = graphs[proc.name]
+            for uid, stmt in graph.stmts.items():
+                node_must = must_in[proc.name].get(uid, set())
+                new |= _node_reads(stmt, info, visible, exposed, node_must)
+            if new != exposed[proc.name]:
+                exposed[proc.name] = new
+                changed = True
+    result.exposed_ref = exposed

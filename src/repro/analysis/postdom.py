@@ -1,0 +1,90 @@
+"""Postdominator computation.
+
+Postdominators are computed as dominators of the reverse CFG with the
+exit node as root, using the standard iterative dataflow formulation.
+Nodes that cannot reach the exit (e.g. bodies of ``while (1)`` loops that
+never terminate) keep the full node set as their postdominator set; the
+control-dependence pass treats them conservatively.
+"""
+
+
+def postdominators(cfg):
+    """Map each node to its set of postdominators (including itself)."""
+    nodes = list(cfg.nodes)
+    full = set(nodes)
+    pdom = {node: (set([cfg.exit]) if node == cfg.exit else set(full)) for node in nodes}
+
+    # Reverse postorder over the reverse graph gives fast convergence.
+    order = _reverse_postorder_on_reverse(cfg)
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == cfg.exit:
+                continue
+            succs = cfg.successors(node)
+            if succs:
+                new = set(full)
+                for succ in succs:
+                    new &= pdom[succ]
+            else:
+                # Dead end that is not the exit: nothing postdominates it
+                # except itself (conservative).
+                new = set()
+            new.add(node)
+            if new != pdom[node]:
+                pdom[node] = new
+                changed = True
+    return pdom
+
+
+def _reverse_postorder_on_reverse(cfg):
+    """DFS postorder starting from exit following predecessor edges,
+    then extended with any nodes unreachable from exit."""
+    seen = set()
+    order = []
+
+    def visit(start):
+        stack = [(start, iter(cfg.predecessors(start)))]
+        seen.add(start)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for pred in it:
+                if pred not in seen:
+                    seen.add(pred)
+                    stack.append((pred, iter(cfg.predecessors(pred))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+
+    visit(cfg.exit)
+    for node in cfg.nodes:
+        if node not in seen:
+            visit(node)
+    order.reverse()
+    return order
+
+
+def immediate_postdominators(cfg, pdom=None):
+    """Map each node to its immediate postdominator (or None).
+
+    The immediate postdominator of ``n`` is the unique strict
+    postdominator of ``n`` postdominated by every other strict
+    postdominator of ``n``.
+    """
+    if pdom is None:
+        pdom = postdominators(cfg)
+    ipdom = {}
+    for node in cfg.nodes:
+        strict = pdom[node] - {node}
+        ipdom[node] = None
+        for candidate in strict:
+            # ipdom is the closest strict postdominator: every other
+            # strict postdominator of ``node`` postdominates it.
+            if all(other in pdom[candidate] for other in strict):
+                ipdom[node] = candidate
+                break
+    return ipdom

@@ -1,0 +1,83 @@
+"""Reaching definitions and flow dependence.
+
+Generic over any :class:`ControlFlowGraph` plus DEF/USE maps: each CFG
+node may define a set of variables and use a set of variables.  A node's
+definitions *kill* other definitions of the same variable only when the
+node is a *must*-def of that variable (weak updates, e.g. an actual-out
+for a global the callee only may modify, do not kill).
+
+The output is the flow-dependence relation: ``(def_node, use_node, var)``
+triples where the definition of ``var`` at ``def_node`` reaches a use of
+``var`` at ``use_node`` along a path with no intervening must-def.
+
+Only *executable* CFG edges participate (Ball–Horwitz fall-through edges
+carry no dataflow).
+"""
+
+
+def reaching_definitions(cfg, defs, uses, must_defs=None):
+    """Compute the reaching-definition sets.
+
+    Args:
+        cfg: a :class:`ControlFlowGraph`.
+        defs: mapping node -> iterable of variables defined (may-defs).
+        uses: mapping node -> iterable of variables used.
+        must_defs: mapping node -> iterable of variables definitely
+            defined; defaults to ``defs`` (all defs are strong).
+
+    Returns:
+        mapping node -> set of ``(def_node, var)`` pairs reaching the
+        *entry* of that node.
+    """
+    if must_defs is None:
+        must_defs = defs
+
+    def _set(mapping, node):
+        return set(mapping.get(node, ()))
+
+    # Definition sites: (node, var) pairs.
+    gen = {node: frozenset((node, var) for var in _set(defs, node)) for node in cfg.nodes}
+    kill_vars = {node: frozenset(_set(must_defs, node)) for node in cfg.nodes}
+
+    in_sets = {node: set() for node in cfg.nodes}
+    out_sets = {node: set() for node in cfg.nodes}
+
+    worklist = list(cfg.nodes)
+    in_worklist = set(worklist)
+    while worklist:
+        node = worklist.pop()
+        in_worklist.discard(node)
+        new_in = set()
+        for pred in cfg.predecessors(node, include_fallthrough=False):
+            new_in |= out_sets[pred]
+        in_sets[node] = new_in
+        survivors = {
+            (site, var) for (site, var) in new_in if var not in kill_vars[node]
+        }
+        new_out = survivors | gen[node]
+        if new_out != out_sets[node]:
+            out_sets[node] = new_out
+            for succ in cfg.successors(node, include_fallthrough=False):
+                if succ not in in_worklist:
+                    worklist.append(succ)
+                    in_worklist.add(succ)
+    return in_sets
+
+
+def flow_dependences(cfg, defs, uses, must_defs=None):
+    """The flow-dependence relation induced by reaching definitions.
+
+    A node that both uses and defines a variable (e.g. ``x = x + 1``)
+    depends on definitions reaching its entry, including itself via a
+    loop.  Returns a set of ``(def_node, use_node, var)`` triples.
+    """
+    in_sets = reaching_definitions(cfg, defs, uses, must_defs)
+    deps = set()
+    for node in cfg.nodes:
+        used = set(uses.get(node, ()))
+        if not used:
+            continue
+        for (site, var) in in_sets[node]:
+            if var in used:
+                deps.add((site, node, var))
+    return deps

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command> file.tc``.
+
+Commands:
+
+* ``info``      — parse a TinyC file and print SDG statistics.
+* ``slice``     — specialization slice w.r.t. a print statement
+  (``--print N``, default 0: the N-th print in the program) and emit
+  the executable slice.
+* ``mono``      — the same criterion, Binkley's monovariant slice.
+* ``remove``    — feature removal from a statement matched by
+  ``--feature TEXT`` (substring of the statement's label).
+* ``run``       — interpret the program; inputs from ``--inputs``.
+* ``bta``       — polyvariant binding-time analysis from the
+  ``input()`` statements.
+
+The CLI is a thin veneer over the library API; each command returns the
+text it prints so tests can drive it directly.
+"""
+
+import argparse
+import sys
+
+from repro.core import (
+    binding_time_analysis,
+    binkley_slice,
+    dynamic_input_vertices,
+    executable_program,
+    lower_indirect_calls,
+    monovariant_program,
+    remove_feature,
+    specialization_slice,
+)
+from repro.lang import check, parse, pretty
+from repro.lang.interp import run_program
+from repro.sdg import build_sdg
+
+
+def _load(path):
+    with open(path) as handle:
+        source = handle.read()
+    program = parse(source)
+    info = check(program)
+    if info.has_indirect_calls:
+        program, info = lower_indirect_calls(program, info)
+    sdg = build_sdg(program, info)
+    return program, info, sdg
+
+
+def _print_criterion(sdg, index):
+    prints = sdg.print_call_vertices()
+    if not prints:
+        raise SystemExit("error: the program has no print statements")
+    if not 0 <= index < len(prints):
+        raise SystemExit(
+            "error: --print %d out of range (program has %d prints)"
+            % (index, len(prints))
+        )
+    return sdg.print_criterion([prints[index]])
+
+
+def cmd_info(args):
+    program, _info, sdg = _load(args.file)
+    kinds = {}
+    for vertex in sdg.vertices.values():
+        kinds[vertex.kind] = kinds.get(vertex.kind, 0) + 1
+    lines = [
+        "procedures:   %d" % len(program.procs),
+        "vertices:     %d" % sdg.vertex_count(),
+        "edges:        %d" % sdg.edge_count(),
+        "call sites:   %d" % len(sdg.call_sites),
+        "prints:       %d" % len(sdg.print_call_vertices()),
+    ]
+    for kind in sorted(kinds):
+        lines.append("  %-12s %d" % (kind, kinds[kind]))
+    return "\n".join(lines)
+
+
+def cmd_slice(args):
+    _program, _info, sdg = _load(args.file)
+    criterion = _print_criterion(sdg, args.print_index)
+    result = specialization_slice(sdg, criterion)
+    executable = executable_program(result)
+    header = "// specialization slice w.r.t. print #%d\n" % args.print_index
+    versions = {
+        proc: count for proc, count in result.version_counts().items() if count
+    }
+    header += "// versions: %s\n" % versions
+    return header + pretty(executable.program)
+
+
+def cmd_mono(args):
+    _program, _info, sdg = _load(args.file)
+    criterion = _print_criterion(sdg, args.print_index)
+    result = binkley_slice(sdg, criterion)
+    executable = monovariant_program(sdg, result.slice_set)
+    header = (
+        "// monovariant (Binkley) slice w.r.t. print #%d; %d extra elements\n"
+        % (args.print_index, len(result.added))
+    )
+    return header + pretty(executable.program)
+
+
+def cmd_remove(args):
+    _program, _info, sdg = _load(args.file)
+    seeds = {
+        vid
+        for vid, vertex in sdg.vertices.items()
+        if vertex.kind in ("statement", "call") and args.feature in vertex.label
+    }
+    if not seeds:
+        raise SystemExit("error: no statement matches %r" % args.feature)
+    result = remove_feature(sdg, seeds)
+    executable = executable_program(result)
+    return "// feature %r removed\n" % args.feature + pretty(executable.program)
+
+
+def cmd_run(args):
+    program, _info, _sdg = _load(args.file)
+    inputs = [int(chunk) for chunk in args.inputs.split(",")] if args.inputs else []
+    result = run_program(program, inputs, max_steps=args.max_steps)
+    out = result.render()
+    out += "[%d steps]" % result.steps
+    if result.exit_code is not None:
+        out += " [exit %d]" % result.exit_code
+    return out
+
+
+def cmd_bta(args):
+    _program, _info, sdg = _load(args.file)
+    dynamic = dynamic_input_vertices(sdg)
+    result = binding_time_analysis(sdg, dynamic)
+    if not result.divisions:
+        return "program is fully static (no input() reached)"
+    return result.report()
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Specialization slicing (Aung, Horwitz, Joiner, Reps; PLDI 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="SDG statistics")
+    p_info.add_argument("file")
+    p_info.set_defaults(func=cmd_info)
+
+    p_slice = sub.add_parser("slice", help="polyvariant executable slice")
+    p_slice.add_argument("file")
+    p_slice.add_argument("--print", dest="print_index", type=int, default=0)
+    p_slice.set_defaults(func=cmd_slice)
+
+    p_mono = sub.add_parser("mono", help="monovariant (Binkley) slice")
+    p_mono.add_argument("file")
+    p_mono.add_argument("--print", dest="print_index", type=int, default=0)
+    p_mono.set_defaults(func=cmd_mono)
+
+    p_remove = sub.add_parser("remove", help="feature removal")
+    p_remove.add_argument("file")
+    p_remove.add_argument("--feature", required=True)
+    p_remove.set_defaults(func=cmd_remove)
+
+    p_run = sub.add_parser("run", help="interpret the program")
+    p_run.add_argument("file")
+    p_run.add_argument("--inputs", default="")
+    p_run.add_argument("--max-steps", type=int, default=1_000_000)
+    p_run.set_defaults(func=cmd_run)
+
+    p_bta = sub.add_parser("bta", help="binding-time analysis")
+    p_bta.add_argument("file")
+    p_bta.set_defaults(func=cmd_bta)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = args.func(args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Binkley's monovariant executable slicing (Binkley 1993; §5).
+
+Start from the HRB closure slice; while some call site in the slice has
+a parameter mismatch (the callee's formal-in is in the slice but the
+site's matching actual-in is not), add the missing actual-in together
+with *everything in its backward closure slice*; repeat to fixpoint.
+
+The result is a single (monovariant) vertex set per procedure that
+renders as an executable program — complete but not sound in the
+paper's terminology: it may contain elements outside the closure slice
+(the paper's Fig. 14(c) ``g2 = 100`` add-back).
+"""
+
+from repro.sdg.slice_ops import backward_closure_slice
+
+
+class MonovariantResult(object):
+    """Outcome of a monovariant executable-slicing run.
+
+    Attributes:
+        slice_set: the final vertex set.
+        closure: the initial closure slice (for §8-style comparisons).
+        added: vertices in ``slice_set`` but not in ``closure`` (the
+            "extraneous" elements of Fig. 19).
+        iterations: number of mismatch-repair rounds.
+    """
+
+    def __init__(self, slice_set, closure, iterations):
+        self.slice_set = frozenset(slice_set)
+        self.closure = frozenset(closure)
+        self.added = self.slice_set - self.closure
+        self.iterations = iterations
+
+    def extra_percent(self):
+        """Extra vertices relative to the closure slice, in percent."""
+        if not self.closure:
+            return 0.0
+        return 100.0 * len(self.added) / len(self.closure)
+
+
+def binkley_slice(sdg, criterion=None, closure_set=None):
+    """Run Binkley's algorithm; returns a :class:`MonovariantResult`.
+
+    Either pass a ``criterion`` vertex set (the HRB closure slice is
+    computed from it), or pass ``closure_set`` directly — the paper's §8
+    comparison starts both algorithms from the same element set (the
+    Elems of the stack-configuration slice for call-stack criteria).
+    """
+    if closure_set is None:
+        closure = backward_closure_slice(sdg, criterion)
+    else:
+        closure = set(closure_set)
+    slice_set = set(closure)
+
+    # The monovariant element set of each procedure is the union over
+    # the whole slice, so a formal-in is "present" exactly when it is in
+    # slice_set.
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        missing = set()
+        for site in sdg.call_sites.values():
+            if site.call_vertex not in slice_set:
+                continue
+            for role, fi in sdg.formal_ins[site.callee].items():
+                if fi not in slice_set:
+                    continue
+                ai = site.actual_ins.get(role)
+                if ai is not None and ai not in slice_set:
+                    missing.add(ai)
+        if missing:
+            addition = backward_closure_slice(sdg, missing)
+            before = len(slice_set)
+            slice_set |= addition
+            changed = len(slice_set) != before
+    return MonovariantResult(slice_set, closure, iterations)

@@ -1,0 +1,172 @@
+"""Polyvariant binding-time analysis (§9's partial-evaluation
+application of the machinery).
+
+Off-line partial evaluators need, for each procedure, the patterns of
+static ("supplied") vs dynamic ("delayed") parameters that can arise —
+per calling context.  The paper observes that the specialization-slicing
+machinery computes exactly this: take the *forward* stack-configuration
+slice (Poststar) from the program's dynamic inputs, build the minimal
+reverse-deterministic automaton, and read the partition off its states.
+Each partition element is one *binding-time division*: a set of program
+elements that are dynamic under a regular language of calling contexts.
+
+This module implements that sketch.  A program element not appearing in
+any division is static everywhere.
+"""
+
+from repro.core.criteria import (
+    as_query_view,
+    empty_stack_criterion,
+    reachable_contexts_criterion,
+)
+from repro.core.readout import ReadoutError
+from repro.fsa import mrd
+from repro.pds import encode_sdg, poststar
+from repro.sdg.graph import VertexKind
+
+
+class BindingTimeDivision(object):
+    """One polyvariant division of a procedure.
+
+    Attributes:
+        proc: procedure name.
+        state: the MRD-automaton state (opaque; distinct per division).
+        dynamic_vertices: frozenset of PDG vertex ids dynamic under this
+            division's contexts.
+        dynamic_param_roles: roles of the formal-ins that are dynamic
+            (the "delayed" parameters of this division).
+    """
+
+    def __init__(self, proc, state, dynamic_vertices, dynamic_param_roles):
+        self.proc = proc
+        self.state = state
+        self.dynamic_vertices = frozenset(dynamic_vertices)
+        self.dynamic_param_roles = frozenset(dynamic_param_roles)
+
+    def __repr__(self):
+        return "BindingTimeDivision(%s: %d dynamic elems, dynamic params %s)" % (
+            self.proc,
+            len(self.dynamic_vertices),
+            sorted(self.dynamic_param_roles),
+        )
+
+
+class BTAResult(object):
+    """Outcome of the polyvariant binding-time analysis."""
+
+    def __init__(self, sdg, a6, divisions):
+        self.sdg = sdg
+        self.a6 = a6
+        self.divisions = divisions  # proc name -> [BindingTimeDivision]
+
+    def divisions_of(self, proc):
+        return list(self.divisions.get(proc, ()))
+
+    def division_counts(self):
+        return {proc: len(items) for proc, items in self.divisions.items()}
+
+    def is_dynamic_anywhere(self, vid):
+        proc = self.sdg.vertices[vid].proc
+        return any(
+            vid in division.dynamic_vertices
+            for division in self.divisions.get(proc, ())
+        )
+
+    def report(self):
+        """Human-readable division summary."""
+        lines = []
+        for proc in sorted(self.divisions):
+            lines.append("%s:" % proc)
+            for index, division in enumerate(self.divisions[proc], 1):
+                dynamic_params = sorted(
+                    self.sdg.vertices[
+                        self.sdg.formal_ins[proc][role]
+                    ].label
+                    for role in division.dynamic_param_roles
+                )
+                lines.append(
+                    "  division %d: dynamic params %s (%d dynamic elements)"
+                    % (index, dynamic_params or ["<none>"], len(division.dynamic_vertices))
+                )
+        return "\n".join(lines)
+
+
+def binding_time_analysis(sdg, dynamic_inputs, contexts="reachable"):
+    """Run the §9 polyvariant BTA.
+
+    Args:
+        sdg: the program's SDG.
+        dynamic_inputs: vertex ids of the dynamic inputs (e.g. the
+            ``input()`` statements, or formal-ins of ``main``'s data).
+        contexts: ``"reachable"`` or ``"empty"``, as elsewhere.
+
+    Returns:
+        a :class:`BTAResult`.
+    """
+    encoding = encode_sdg(sdg)
+    vids = sorted(dynamic_inputs)
+    if contexts == "reachable":
+        query = reachable_contexts_criterion(encoding, vids)
+    elif contexts == "empty":
+        query = empty_stack_criterion(encoding, vids)
+    else:
+        raise ValueError("contexts must be 'reachable' or 'empty'")
+
+    forward = poststar(encoding.pds, query)
+    view = as_query_view(forward, encoding)
+    a6 = mrd(view).trim()
+
+    divisions = {}
+    if a6.states:
+        if len(a6.initials) != 1:
+            raise ReadoutError("MRD automaton must have a single initial state")
+        q0 = next(iter(a6.initials))
+        per_state = {}
+        for (src, symbol, dst) in a6.transitions():
+            if src != q0:
+                continue
+            if not encoding.is_vertex_symbol(symbol):
+                raise ReadoutError("non-vertex symbol out of the initial state")
+            per_state.setdefault(dst, set()).add(symbol)
+        for state, vertices in per_state.items():
+            procs = {sdg.vertices[vid].proc for vid in vertices}
+            if len(procs) != 1:
+                raise ReadoutError("division mixes procedures")
+            proc = procs.pop()
+            dynamic_roles = {
+                role
+                for role, fi in sdg.formal_ins[proc].items()
+                if fi in vertices and role[0] == "param"
+            }
+            divisions.setdefault(proc, []).append(
+                BindingTimeDivision(proc, state, vertices, dynamic_roles)
+            )
+        for items in divisions.values():
+            items.sort(key=lambda d: tuple(sorted(d.dynamic_vertices)))
+    return BTAResult(sdg, a6, divisions)
+
+
+def dynamic_input_vertices(sdg):
+    """The default dynamic-input criterion: every ``input()``
+    statement's vertex."""
+    result = set()
+    for vid, vertex in sdg.vertices.items():
+        if vertex.kind == VertexKind.STATEMENT and "input()" in vertex.label:
+            result.add(vid)
+    return result
+
+
+def calling_context_slice(sdg, vertices, context):
+    """Convenience: a *calling-context slice* (Binkley 1997 / Krinke
+    2004) — the backward slice of ``vertices`` under one specific
+    calling context, as the set of PDG elements.  Subsumed by the PDS
+    machinery: a single-configuration Prestar query (§9)."""
+    from repro.core.criteria import configs_criterion
+    from repro.pds import prestar
+
+    encoding = encode_sdg(sdg)
+    query = configs_criterion(
+        encoding, [(vid, tuple(context)) for vid in sorted(vertices)]
+    )
+    saturated = prestar(encoding.pds, query)
+    return encoding.elems(saturated)

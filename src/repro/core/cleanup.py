@@ -1,0 +1,79 @@
+"""Interprocedural useless-code elimination (§7's suggested post-pass).
+
+Feature removal keeps every configuration outside the feature, which
+can leave behind *useless* residue — §7's example: a specialized
+``mult`` whose result nobody reads, still called from ``tally``.  The
+paper notes "the program could be cleaned up by performing an
+interprocedural useless-code-elimination pass"; this module provides
+that pass.
+
+The observation: useless code is exactly code outside the backward
+slice from the program's observable behaviour.  So the pass is
+self-application — re-slice the output program with respect to all of
+its own observable statements (prints and exits, under every reachable
+context) and render the result.  Because Alg. 1 is idempotent on
+already-minimal programs (§8.3), cleaning is a no-op when there is
+nothing useless.
+"""
+
+from repro.core.executable import ExecutableSlice, executable_program
+from repro.core.specialize import specialization_slice
+from repro.lang import ast_nodes as A
+from repro.lang.sema import check
+from repro.sdg.graph import VertexKind
+from repro.sdg.sdg_builder import build_sdg
+
+
+def observable_criterion(sdg):
+    """The vertices carrying observable behaviour: the actual-ins of
+    every print, plus exit call vertices (termination and exit codes
+    are observable), plus print call vertices with no arguments."""
+    criterion = set()
+    for vid, vertex in sdg.vertices.items():
+        if vertex.kind != VertexKind.CALL:
+            continue
+        if vertex.label == "call print":
+            criterion.add(vid)
+            criterion.update(sdg.print_criterion([vid]))
+        elif vertex.label == "call exit":
+            criterion.add(vid)
+    return criterion
+
+
+def useless_code_elimination(program):
+    """Remove interprocedurally useless code from ``program``.
+
+    Args:
+        program: a TinyC :class:`Program` AST (e.g. the output of
+            feature removal).
+
+    Returns:
+        an :class:`ExecutableSlice` whose ``program`` contains only code
+        that can affect observable behaviour.  ``stmt_map`` maps the
+        cleaned statements back to ``program``'s uids.
+    """
+    info = check(program)
+    sdg = build_sdg(program, info)
+    criterion = observable_criterion(sdg)
+    if not criterion:
+        # No observable behaviour at all: the empty program.
+        empty = A.Program([], [A.Proc("main", [], "int", A.Block([]))])
+        check(empty)
+        return ExecutableSlice(empty, {}, {})
+    result = specialization_slice(sdg, criterion)
+    return executable_program(result)
+
+
+def clean_feature_removal(result):
+    """Convenience: render a feature-removal
+    :class:`SpecializationResult` and clean it in one step.  Returns
+    ``(raw_slice, cleaned_slice)``; the composed statement map of
+    ``cleaned_slice`` points back to the *original* program's uids."""
+    raw = executable_program(result)
+    cleaned = useless_code_elimination(raw.program)
+    composed = {
+        new_uid: raw.stmt_map[mid_uid]
+        for new_uid, mid_uid in cleaned.stmt_map.items()
+        if mid_uid in raw.stmt_map
+    }
+    return raw, ExecutableSlice(cleaned.program, composed, cleaned.spec_of_proc)

@@ -1,0 +1,134 @@
+"""Query-automaton construction for slicing criteria.
+
+A slicing criterion is a regular language of configurations ``(v, w)``:
+PDG vertex ``v`` under calling context ``w`` (top of stack first).  The
+query automaton reads the vertex symbol from the initial control
+location ``p`` and then the context symbols.
+
+Three constructors cover the paper's usage:
+
+* :func:`empty_stack_criterion` — configurations ``(v, ε)``; the Fig. 9
+  query (criterion vertices in ``main``).
+* :func:`configs_criterion` — an explicit finite set of ``(v, w)``
+  pairs; the bug-site criteria used for the Siemens/gzip/space/flex
+  experiments (Horwitz et al. 2010 style).
+* :func:`reachable_contexts_criterion` — ``(v, w)`` for every context
+  ``w`` under which ``v`` can actually occur in the unrolled SDG; the
+  "all calling contexts of printf" criterion used for wc and go.
+  Computed as ``Poststar(entry_main) ∩ (v · Γ_c*)``.
+"""
+
+import itertools
+
+from repro.fsa import FiniteAutomaton, intersection
+from repro.pds import poststar
+
+_fresh = itertools.count(1)
+
+FINAL = "m"
+
+
+def empty_stack_criterion(encoding, vids):
+    """Accepts exactly ``{(v, ε) : v in vids}``."""
+    automaton = FiniteAutomaton(initials=[encoding.main_location], finals=[FINAL])
+    for vid in vids:
+        automaton.add_transition(encoding.main_location, vid, FINAL)
+    return automaton
+
+
+def all_contexts_criterion(encoding, vids):
+    """Accepts ``{(v, w) : v in vids, w in Γ_c*}`` — every syntactically
+    possible context, including unrealizable ones."""
+    automaton = empty_stack_criterion(encoding, vids)
+    for site in sorted(encoding.site_symbols):
+        automaton.add_transition(FINAL, site, FINAL)
+    return automaton
+
+
+def configs_criterion(encoding, configs):
+    """Accepts an explicit finite set of configurations.
+
+    ``configs`` is an iterable of ``(vid, context)`` pairs where
+    ``context`` is a tuple of call-site labels, top of stack first
+    (innermost call first, ``main``'s site last).
+    """
+    automaton = FiniteAutomaton(initials=[encoding.main_location], finals=[FINAL])
+    for vid, context in configs:
+        symbols = (vid,) + tuple(context)
+        previous = encoding.main_location
+        for symbol in symbols[:-1]:
+            state = "q%d" % next(_fresh)
+            automaton.add_transition(previous, symbol, state)
+            previous = state
+        automaton.add_transition(previous, symbols[-1], FINAL)
+    return automaton
+
+
+def reachable_configs_automaton(encoding):
+    """An automaton for *all* configurations reachable in the unrolled
+    SDG from ``(entry_main, ε)`` — the language
+    ``Poststar[P](entry_main)`` used by Alg. 2 line 5 and by the
+    reslicing check.  Criterion-independent, so cached per encoding."""
+    cached = getattr(encoding, "_reachable_configs", None)
+    if cached is not None:
+        return cached
+    sdg = encoding.sdg
+    entry_main = sdg.entry_vertex["main"]
+    query = empty_stack_criterion(encoding, [entry_main])
+    result = poststar(encoding.pds, query)
+    encoding._reachable_configs = result
+    return result
+
+
+def reachable_contexts_criterion(encoding, vids):
+    """Accepts ``{(v, w) : v in vids, (v, w) reachable}`` — the "slice
+    from every calling context of these vertices" criterion.
+
+    Built by intersecting the reachable-configuration language with
+    ``vids · Γ_c*`` and rebasing the initial state back onto the control
+    location so the result is a valid Prestar query automaton.
+    """
+    reachable = reachable_configs_automaton(encoding)
+    reachable_view = as_query_view(reachable, encoding)
+    broad = all_contexts_criterion(encoding, vids)
+    product = intersection(reachable_view, broad).trim()
+    if not product.states:
+        # The criterion vertices are unreachable from main (dead code):
+        # the slice is empty.  Return a valid query accepting nothing.
+        return FiniteAutomaton(initials=[encoding.main_location])
+    return rebase_initial(product, encoding.main_location)
+
+
+def as_query_view(automaton, encoding):
+    """Restrict a P-automaton to the language read from the main control
+    location: same transitions, single initial state ``p``, trimmed."""
+    view = FiniteAutomaton(initials=[encoding.main_location])
+    for state in automaton.finals:
+        view.add_final(state)
+    for (src, symbol, dst) in automaton.transitions():
+        view.add_transition(src, symbol, dst)
+    return view.trim()
+
+
+def rebase_initial(automaton, new_initial):
+    """Rename the (single) initial state to ``new_initial`` so the
+    automaton can serve as a Prestar/Poststar query.  Requires that no
+    transition enters the initial state."""
+    if len(automaton.initials) != 1:
+        raise ValueError("rebase_initial requires exactly one initial state")
+    old = next(iter(automaton.initials))
+    if old == new_initial:
+        return automaton
+    for (_src, _symbol, dst) in automaton.transitions():
+        if dst == old:
+            raise ValueError("initial state has incoming transitions")
+    result = FiniteAutomaton(initials=[new_initial])
+    for state in automaton.finals:
+        result.add_final(new_initial if state == old else state)
+    for (src, symbol, dst) in automaton.transitions():
+        result.add_transition(
+            new_initial if src == old else src,
+            symbol,
+            new_initial if dst == old else dst,
+        )
+    return result

@@ -1,0 +1,359 @@
+"""Generating an executable TinyC program from a specialized SDG.
+
+This is step 5 of Alg. 1 (which the paper delegates to CodeSurfer's
+pretty-printer).  Each :class:`SpecializedPDG` is rendered by walking
+the *original* procedure's AST and keeping exactly the statements whose
+vertices are in the partition element; call statements are re-targeted
+to the specialization their call site is bound to, and argument lists
+are filtered to the callee's surviving parameter positions (Cor. 3.19
+guarantees the caller/callee filters agree).
+
+Details the paper's examples imply:
+
+* ``x = f(...)`` whose return actual-out was sliced away demotes to the
+  call statement ``f(...);`` (the call's side effects remain relevant).
+* A specialized procedure whose ``$ret`` formal-out was sliced away
+  becomes ``void``; its kept ``return e;`` statements drop the value.
+* A local whose declaration was sliced away (dead initial value) but
+  which is still written/read gets a plain ``int x;`` re-inserted at the
+  top of the body.
+* Globals are emitted only if some kept statement mentions them; their
+  (constant) initializers are preserved.
+* Procedures referenced only as function-pointer values are emitted as
+  empty stubs, preserving the address space (§6.2).
+"""
+
+from repro.lang import ast_nodes as A
+from repro.sdg.graph import VertexKind
+
+
+class ExecutableError(Exception):
+    """The specialized SDG cannot be rendered as a program (e.g. a kept
+    call site whose callee was sliced away entirely — impossible for
+    criteria anchored at program points, but reachable with artificial
+    configuration criteria)."""
+
+
+class ExecutableSlice(object):
+    """A runnable slice.
+
+    Attributes:
+        program: the new :class:`Program` AST (semantically checked).
+        stmt_map: new statement uid -> original statement uid.
+        spec_of_proc: new procedure name -> :class:`SpecializedPDG`.
+    """
+
+    def __init__(self, program, stmt_map, spec_of_proc):
+        self.program = program
+        self.stmt_map = stmt_map
+        self.spec_of_proc = spec_of_proc
+
+    def original_uids(self, new_uids):
+        return {self.stmt_map[uid] for uid in new_uids if uid in self.stmt_map}
+
+
+def executable_program(result):
+    """Render a :class:`SpecializationResult` as a runnable program."""
+    source_sdg = result.source_sdg
+    program = source_sdg.program
+    info = source_sdg.info
+    if program is None or info is None:
+        raise ExecutableError("source SDG lacks program/info back-references")
+
+    generator = _Generator(result, program, info)
+    return generator.run()
+
+
+class _Generator(object):
+    def __init__(self, result, program, info):
+        self.result = result
+        self.program = program
+        self.info = info
+        self.sdg = result.source_sdg
+        self.stmt_map = {}
+        self.spec_of_proc = {}
+        self.funcref_names = set()
+
+    # -- top level ------------------------------------------------------------
+
+    def run(self):
+        new_procs = []
+        ordered = sorted(
+            self.result.pdgs.values(),
+            key=lambda spec: (
+                [p.name for p in self.program.procs].index(spec.proc),
+                spec.name,
+            ),
+        )
+        for spec in ordered:
+            new_procs.append(self._render_proc(spec))
+            self.spec_of_proc[spec.name] = spec
+
+        if "main" not in self.spec_of_proc:
+            # Criterion unreachable or empty: the slice is the empty
+            # program.
+            empty_main = A.Proc("main", [], "int", A.Block([]))
+            new_procs.append(empty_main)
+
+        new_procs.extend(self._funcref_stubs({proc.name for proc in new_procs}))
+        globals_ = self._referenced_globals(new_procs)
+        new_program = A.Program(globals_, new_procs)
+
+        from repro.lang.sema import check
+
+        check(new_program)  # the slice must be a legal program
+        return ExecutableSlice(new_program, self.stmt_map, self.spec_of_proc)
+
+    # -- procedures ---------------------------------------------------------------
+
+    def _kept_positions(self, spec):
+        """Parameter positions surviving in a specialization."""
+        roles = set(self.sdg.formal_ins[spec.proc]) | set(
+            self.sdg.formal_outs[spec.proc]
+        )
+        kept = []
+        for role in roles:
+            if role[0] != "param":
+                continue
+            fi = self.sdg.formal_ins[spec.proc].get(role)
+            fo = self.sdg.formal_outs[spec.proc].get(role)
+            if (fi is not None and fi in spec.orig_vertices) or (
+                fo is not None and fo in spec.orig_vertices
+            ):
+                kept.append(role[1])
+        return sorted(kept)
+
+    def _returns_value(self, spec):
+        fo = self.sdg.formal_outs[spec.proc].get(("ret",))
+        return fo is not None and fo in spec.orig_vertices
+
+    def _render_proc(self, spec):
+        proc = self.program.proc(spec.proc)
+        positions = self._kept_positions(spec)
+        params = [self._copy_param(proc.params[index]) for index in positions]
+        ret = "int" if self._returns_value(spec) else "void"
+        body_stmts = self._render_block(proc.body, spec)
+        body = A.Block(body_stmts)
+        self._ensure_local_decls(proc, body, params, spec)
+        return A.Proc(spec.name, params, ret, body)
+
+    @staticmethod
+    def _copy_param(param):
+        return A.Param(param.name, param.kind)
+
+    # -- statements -----------------------------------------------------------------
+
+    def _render_block(self, block, spec):
+        rendered = []
+        for stmt in block.stmts:
+            new_stmt = self._render_stmt(stmt, spec)
+            if new_stmt is not None:
+                rendered.append(new_stmt)
+        return rendered
+
+    def _render_stmt(self, stmt, spec):
+        kept = spec.orig_vertices
+        vid = self.sdg.vertex_of_stmt.get(stmt.uid)
+        vertex = self.sdg.vertices[vid] if vid is not None else None
+        in_slice = vid in kept
+
+        if isinstance(stmt, (A.Assign, A.LocalDecl)) and isinstance(
+            _rhs(stmt), A.CallExpr
+        ):
+            if not in_slice:
+                return None
+            return self._render_call(stmt, vertex, spec)
+
+        if isinstance(stmt, A.CallStmt):
+            if not in_slice:
+                return None
+            return self._render_call(stmt, vertex, spec)
+
+        if isinstance(stmt, A.If):
+            if not in_slice:
+                return None
+            then = A.Block(self._render_block(stmt.then, spec))
+            els = None
+            if stmt.els is not None:
+                els_stmts = self._render_block(stmt.els, spec)
+                if els_stmts:
+                    els = A.Block(els_stmts)
+            new_stmt = A.If(_copy_expr(stmt.cond), then, els)
+            self.stmt_map[new_stmt.uid] = stmt.uid
+            return new_stmt
+
+        if isinstance(stmt, A.While):
+            if not in_slice:
+                return None
+            body = A.Block(self._render_block(stmt.body, spec))
+            new_stmt = A.While(_copy_expr(stmt.cond), body)
+            self.stmt_map[new_stmt.uid] = stmt.uid
+            return new_stmt
+
+        if not in_slice:
+            return None
+
+        if isinstance(stmt, A.Assign):
+            expr = (
+                A.InputExpr()
+                if isinstance(stmt.expr, A.InputExpr)
+                else _copy_expr(stmt.expr)
+            )
+            new_stmt = A.Assign(stmt.name, expr)
+        elif isinstance(stmt, A.LocalDecl):
+            init = None
+            if stmt.init is not None:
+                init = (
+                    A.InputExpr()
+                    if isinstance(stmt.init, A.InputExpr)
+                    else _copy_expr(stmt.init)
+                )
+            new_stmt = A.LocalDecl(stmt.name, init, stmt.is_fnptr)
+        elif isinstance(stmt, A.Return):
+            if stmt.expr is not None and self._returns_value(spec):
+                new_stmt = A.Return(_copy_expr(stmt.expr))
+            else:
+                new_stmt = A.Return(None)
+        elif isinstance(stmt, A.Print):
+            new_stmt = A.Print([_copy_expr(arg) for arg in stmt.args], stmt.fmt)
+        elif isinstance(stmt, A.ExitStmt):
+            arg = _copy_expr(stmt.arg) if stmt.arg is not None else None
+            new_stmt = A.ExitStmt(arg)
+        else:
+            raise AssertionError("unknown statement %r" % stmt)
+        self.stmt_map[new_stmt.uid] = stmt.uid
+        self._note_funcrefs(new_stmt)
+        return new_stmt
+
+    def _render_call(self, stmt, call_vertex, spec):
+        """A kept direct-call statement: retarget and filter arguments."""
+        site = self.sdg.call_sites[call_vertex.site_label]
+        callee_name = self.result.callee_name(spec, site.label)
+        if callee_name is None:
+            raise ExecutableError(
+                "call site %s kept in %s but not bound to any specialization"
+                % (site.label, spec.name)
+            )
+        callee_spec = next(
+            s for s in self.result.pdgs.values() if s.name == callee_name
+        )
+        positions = self._kept_positions(callee_spec)
+        call = _call_of_stmt(stmt)
+        args = [_copy_expr(call.args[index]) for index in positions]
+        new_call = A.CallExpr(callee_name, args)
+
+        ret_ao = site.actual_outs.get(("ret",))
+        captured = ret_ao is not None and ret_ao in spec.orig_vertices
+        if captured and isinstance(stmt, A.Assign):
+            new_stmt = A.Assign(stmt.name, new_call)
+        elif captured and isinstance(stmt, A.LocalDecl):
+            new_stmt = A.LocalDecl(stmt.name, new_call, stmt.is_fnptr)
+        else:
+            new_stmt = A.CallStmt(new_call)
+        self.stmt_map[new_stmt.uid] = stmt.uid
+        for arg in args:
+            self._note_funcrefs_expr(arg)
+        return new_stmt
+
+    # -- post passes ---------------------------------------------------------------
+
+    def _ensure_local_decls(self, orig_proc, body, params, spec):
+        """Re-insert plain declarations for locals whose declaration was
+        sliced away but which are still mentioned."""
+        proc_info = self.info.procs[orig_proc.name]
+        param_names = {param.name for param in params}
+        declared = {
+            stmt.name
+            for stmt in A.walk_stmts(body)
+            if isinstance(stmt, A.LocalDecl)
+        }
+        mentioned = set()
+        for stmt in A.walk_stmts(body):
+            if isinstance(stmt, (A.Assign, A.LocalDecl)):
+                mentioned.add(stmt.name)
+            for expr in A.stmt_exprs(stmt):
+                mentioned.update(A.expr_vars(expr))
+        missing = []
+        for name in sorted(mentioned - declared - param_names):
+            if name in proc_info.locals or name in proc_info.param_kinds:
+                if name in proc_info.param_kinds:
+                    # A parameter whose formal vertices were sliced away
+                    # but which is still read: re-declare as a local
+                    # (its value never matters to the slice).
+                    is_fnptr = proc_info.param_kinds[name] == "fnptr"
+                else:
+                    is_fnptr = proc_info.locals[name]
+                missing.append(A.LocalDecl(name, None, is_fnptr))
+        body.stmts[:0] = missing
+
+    def _funcref_stubs(self, existing_names):
+        """Empty stubs for procedures referenced only as function-pointer
+        values (§6.2: addresses define the dispatch space)."""
+        stubs = []
+        for name in sorted(self.funcref_names - existing_names):
+            try:
+                orig = self.program.proc(name)
+            except KeyError:
+                continue
+            params = [self._copy_param(param) for param in orig.params]
+            stubs.append(A.Proc(name, params, orig.ret, A.Block([])))
+        return stubs
+
+    def _referenced_globals(self, procs):
+        mentioned = set()
+        for proc in procs:
+            for stmt in A.walk_stmts(proc.body):
+                if isinstance(stmt, (A.Assign, A.LocalDecl)):
+                    mentioned.add(stmt.name)
+                for expr in A.stmt_exprs(stmt):
+                    mentioned.update(A.expr_vars(expr))
+        globals_ = []
+        for decl in self.program.globals:
+            if decl.name in mentioned and decl.name in self.info.global_names:
+                init = _copy_expr(decl.init) if decl.init is not None else None
+                globals_.append(A.GlobalDecl(decl.name, init, decl.is_fnptr))
+        return globals_
+
+    def _note_funcrefs(self, stmt):
+        for expr in A.stmt_exprs(stmt):
+            self._note_funcrefs_expr(expr)
+
+    def _note_funcrefs_expr(self, expr):
+        for sub in A.walk_exprs(expr):
+            if isinstance(sub, A.FuncRef):
+                self.funcref_names.add(sub.name)
+
+
+def _rhs(stmt):
+    if isinstance(stmt, A.Assign):
+        return stmt.expr
+    if isinstance(stmt, A.LocalDecl):
+        return stmt.init
+    return None
+
+
+def _call_of_stmt(stmt):
+    if isinstance(stmt, A.CallStmt):
+        return stmt.call
+    return _rhs(stmt)
+
+
+def _copy_expr(expr):
+    """Structural deep copy of an expression."""
+    if isinstance(expr, A.Num):
+        return A.Num(expr.value)
+    if isinstance(expr, A.Var):
+        return A.Var(expr.name)
+    if isinstance(expr, A.FuncRef):
+        return A.FuncRef(expr.name)
+    if isinstance(expr, A.InputExpr):
+        return A.InputExpr()
+    if isinstance(expr, A.Bin):
+        return A.Bin(expr.op, _copy_expr(expr.left), _copy_expr(expr.right))
+    if isinstance(expr, A.Un):
+        return A.Un(expr.op, _copy_expr(expr.operand))
+    if isinstance(expr, A.CallExpr):
+        copied = A.CallExpr(expr.callee, [_copy_expr(arg) for arg in expr.args])
+        copied.is_indirect = expr.is_indirect
+        return copied
+    raise AssertionError("unknown expression %r" % expr)

@@ -1,0 +1,94 @@
+"""Feature removal for multi-procedure programs (§7, Algorithm 2).
+
+A "feature" is the forward stack-configuration slice from a criterion
+(e.g. everything influenced by ``prod = 1``).  For single-procedure
+programs, the complement of a forward slice is a backward slice
+(Obs. 7.1), so the feature can simply be subtracted; for multi-procedure
+programs that fails on the SDG — but holds again on the *unrolled* SDG,
+which the PDS machinery manipulates directly:
+
+    A0 = Poststar(A_C)                       (the feature's configurations)
+    A1 = Poststar(entry_main) ∩ ¬det(A0)     (reachable configs minus feature)
+    ... continue at line 4 of Alg. 1 (MRD + read-out)
+
+The read-out then produces a specialized program without the feature;
+procedures like Fig. 16's ``tally`` lose the parameters that only served
+the feature, while shared helpers like ``add`` survive because their
+non-feature configurations remain.
+"""
+
+from repro.core.criteria import (
+    as_query_view,
+    empty_stack_criterion,
+    reachable_configs_automaton,
+    reachable_contexts_criterion,
+)
+from repro.core.readout import read_out_sdg
+from repro.core.specialize import SpecializationResult
+from repro.fsa import complement, determinize, intersection, mrd
+from repro.pds import encode_sdg, poststar
+
+
+def remove_feature(sdg, criterion, contexts="reachable"):
+    """Run Algorithm 2.
+
+    Args:
+        sdg: the input SDG.
+        criterion: a query automaton or an iterable of vertex ids whose
+            forward slice is the feature to remove.
+        contexts: how to contextualize a vertex-set criterion (as in
+            :func:`specialization_slice`).
+
+    Returns:
+        a :class:`SpecializationResult` whose ``sdg`` is the
+        feature-free specialized SDG and whose ``a1`` accepts the
+        kept (non-feature, reachable) configurations.
+    """
+    result = SpecializationResult()
+    result.source_sdg = sdg
+    encoding = encode_sdg(sdg)
+    result.encoding = encoding
+
+    if hasattr(criterion, "add_transition"):
+        a_c = criterion
+    else:
+        vids = sorted(criterion)
+        if contexts == "reachable":
+            a_c = reachable_contexts_criterion(encoding, vids)
+        elif contexts == "empty":
+            a_c = empty_stack_criterion(encoding, vids)
+        else:
+            raise ValueError("contexts must be 'reachable' or 'empty'")
+    result.criterion = a_c
+
+    # Line 4: the feature's configurations.
+    a0 = poststar(encoding.pds, a_c)
+    feature_view = as_query_view(a0, encoding)
+
+    # Line 5: reachable configurations not in the feature.
+    reachable = reachable_configs_automaton(encoding)
+    reachable_view = as_query_view(reachable, encoding)
+    alphabet = encoding.alphabet()
+    kept = intersection(
+        reachable_view, complement(determinize(feature_view), alphabet)
+    ).trim()
+    result.a1 = kept
+
+    # Lines 4-8 of Alg. 1 on the kept language.
+    a6 = mrd(kept)
+    result.a6 = a6
+
+    r_sdg, pdgs, bindings, map_back_vertex, map_back_site = read_out_sdg(
+        sdg, a6, encoding
+    )
+    result.sdg = r_sdg
+    result.pdgs = pdgs
+    result.bindings = bindings
+    result.map_back_vertex = map_back_vertex
+    result.map_back_site = map_back_site
+    result.stats = {
+        "feature_states": len(feature_view.states),
+        "kept_states": len(kept.states),
+        "a6_states": len(a6.states),
+    }
+    return result

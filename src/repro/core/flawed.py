@@ -1,0 +1,107 @@
+"""The flawed specialization-slicing candidate from §1 (ablation).
+
+The method: compute the closure slice; for each call site whose actual
+parameters mismatch the callee's sliced formals, specialize the callee
+by copying its closure-sliced elements and *removing the forward slice
+from the unneeded formal-ins*; iterate (with tabulation) until no
+mismatches remain.
+
+The paper shows this is complete but not sound: elements that are not in
+the forward slice of the unneeded formals yet are dead in the
+specialized variant survive — the ``int z = 3;`` statement in the §1
+example remains in ``p_1`` even though ``p_1`` no longer needs it.
+
+We reproduce it for the E14 ablation benchmark, measuring how many
+extra elements it retains relative to Alg. 1's optimal output.
+"""
+
+from repro.sdg.graph import CALL, CONTROL, FLOW, LIBRARY, PARAM_IN, SUMMARY
+from repro.sdg.slice_ops import backward_closure_slice, forward_reach
+
+# "The forward slice from the unneeded formal-ins", as the §1 sketch
+# intends it: downward-only — through the procedure and into its
+# callees, never back up to callers (ascending and re-descending would
+# remove elements other calling patterns still need, changing the
+# example's behaviour).
+_DOWNWARD = frozenset([CONTROL, FLOW, LIBRARY, SUMMARY, CALL, PARAM_IN])
+
+
+class FlawedResult(object):
+    """Specializations produced by the flawed method.
+
+    Attributes:
+        closure: the underlying closure slice.
+        variants: dict (proc name, frozenset of needed formal-in roles)
+            -> frozenset of that variant's vertices.
+    """
+
+    def __init__(self, closure, variants):
+        self.closure = frozenset(closure)
+        self.variants = variants
+
+    def variant_vertices(self, proc, needed_roles):
+        return self.variants[(proc, frozenset(needed_roles))]
+
+    def total_vertices(self):
+        return sum(len(vertices) for vertices in self.variants.values())
+
+
+def flawed_specialization_slice(sdg, criterion):
+    """Run the flawed §1 method; returns a :class:`FlawedResult`."""
+    closure = backward_closure_slice(sdg, criterion)
+
+    variants = {}
+    worklist = []
+
+    def proc_slice(proc):
+        return {
+            vid for vid in sdg.proc_vertices[proc] if vid in closure
+        }
+
+    def needed_roles_at(site, vertex_set):
+        """Formal-in roles fed by actual-ins present in the caller's
+        variant."""
+        roles = set()
+        for role, ai in site.actual_ins.items():
+            if ai in vertex_set:
+                roles.add(role)
+        return frozenset(roles)
+
+    def variant_for(proc, needed):
+        key = (proc, needed)
+        if key in variants:
+            return variants[key]
+        base = proc_slice(proc)
+        sliced_formal_roles = {
+            role
+            for role, vid in sdg.formal_ins[proc].items()
+            if vid in closure
+        }
+        unneeded = sliced_formal_roles - needed
+        if unneeded:
+            seeds = {sdg.formal_ins[proc][role] for role in unneeded}
+            forward = forward_reach(sdg, seeds, _DOWNWARD)
+            elements = frozenset(base - forward)
+        else:
+            elements = frozenset(base)
+        variants[key] = elements
+        worklist.append((proc, elements))
+        return elements
+
+    # Seed: main's variant needs all of its sliced formals (there are
+    # none — main has no callers).
+    main_roles = frozenset(
+        role for role, vid in sdg.formal_ins["main"].items() if vid in closure
+    )
+    variant_for("main", main_roles)
+
+    while worklist:
+        proc, elements = worklist.pop()
+        for label in sdg.sites_in_proc.get(proc, ()):
+            site = sdg.call_sites[label]
+            if site.call_vertex not in elements:
+                continue
+            needed = needed_roles_at(site, elements)
+            variant_for(site.callee, needed)
+
+    return FlawedResult(closure, variants)

@@ -1,0 +1,168 @@
+"""Function-pointer lowering (§6.2).
+
+Indirect calls cannot be represented in the SDG directly.  The paper's
+transformation introduces, for each indirect call site, an explicit
+dispatch procedure over the pointer's points-to set::
+
+    x = p(1, 2);      ==>      x = indirect_1(p, 1, 2);
+
+    int indirect_1(fnptr p, int a, int b) {
+        if (p == f) { return f(a, b); }
+        return g(a, b);
+    }
+
+The specialization-slicing algorithm then specializes ``indirect_1`` and
+its targets like any other procedures.  The original target procedures
+are preserved (possibly as empty stubs in the slice): their addresses
+define the dispatch space.
+
+Points-to sets come from the flow-insensitive Andersen-style analysis in
+:mod:`repro.lang.sema`, matching the paper's use of Andersen's analysis
+(with the same §6.2 caveat about uninitialized pointers: the dispatch
+falls through to the last target).
+"""
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import SemanticError
+from repro.lang.sema import check
+
+
+class LoweringError(Exception):
+    """Raised when an indirect call cannot be lowered (empty points-to
+    set, or targets with incompatible signatures)."""
+
+
+def lower_indirect_calls(program, info):
+    """Rewrite all indirect calls through dispatch procedures.
+
+    Returns ``(new_program, new_info)``.  The input AST is not modified;
+    if the program has no indirect calls it is returned unchanged (same
+    object) with its info.
+    """
+    if not info.has_indirect_calls:
+        return program, info
+
+    lowering = _Lowering(program, info)
+    new_program = lowering.run()
+    return new_program, check(new_program)
+
+
+class _Lowering(object):
+    def __init__(self, program, info):
+        self.program = program
+        self.info = info
+        self.dispatchers = []
+        self.counter = 0
+
+    def run(self):
+        new_procs = [self._rewrite_proc(proc) for proc in self.program.procs]
+        globals_ = [
+            A.GlobalDecl(d.name, _copy_expr(d.init) if d.init else None, d.is_fnptr)
+            for d in self.program.globals
+        ]
+        return A.Program(globals_, new_procs + self.dispatchers)
+
+    def _rewrite_proc(self, proc):
+        params = [A.Param(p.name, p.kind) for p in proc.params]
+        body = self._rewrite_block(proc.body, proc.name)
+        return A.Proc(proc.name, params, proc.ret, body)
+
+    def _rewrite_block(self, block, proc_name):
+        return A.Block([self._rewrite_stmt(stmt, proc_name) for stmt in block.stmts])
+
+    def _rewrite_stmt(self, stmt, proc_name):
+        if isinstance(stmt, A.Assign):
+            return A.Assign(stmt.name, self._rewrite_rhs(stmt.expr, proc_name))
+        if isinstance(stmt, A.LocalDecl):
+            init = self._rewrite_rhs(stmt.init, proc_name) if stmt.init else None
+            return A.LocalDecl(stmt.name, init, stmt.is_fnptr)
+        if isinstance(stmt, A.CallStmt):
+            return A.CallStmt(self._rewrite_rhs(stmt.call, proc_name))
+        if isinstance(stmt, A.If):
+            els = self._rewrite_block(stmt.els, proc_name) if stmt.els else None
+            return A.If(_copy_expr(stmt.cond), self._rewrite_block(stmt.then, proc_name), els)
+        if isinstance(stmt, A.While):
+            return A.While(_copy_expr(stmt.cond), self._rewrite_block(stmt.body, proc_name))
+        if isinstance(stmt, A.Return):
+            return A.Return(_copy_expr(stmt.expr) if stmt.expr else None)
+        if isinstance(stmt, A.Print):
+            return A.Print([_copy_expr(a) for a in stmt.args], stmt.fmt)
+        if isinstance(stmt, A.ExitStmt):
+            return A.ExitStmt(_copy_expr(stmt.arg) if stmt.arg else None)
+        raise AssertionError("unknown statement %r" % stmt)
+
+    def _rewrite_rhs(self, expr, proc_name):
+        if isinstance(expr, A.CallExpr) and expr.is_indirect:
+            return self._lower_call(expr, proc_name)
+        if isinstance(expr, A.CallExpr):
+            return A.CallExpr(expr.callee, [_copy_expr(a) for a in expr.args])
+        if isinstance(expr, A.InputExpr):
+            return A.InputExpr()
+        return _copy_expr(expr)
+
+    def _lower_call(self, call, proc_name):
+        targets = sorted(self.info.may_point_to(proc_name, call.callee))
+        if not targets:
+            raise LoweringError(
+                "indirect call through %r has an empty points-to set" % call.callee
+            )
+        signature = self._signature(targets)
+        dispatcher = self._make_dispatcher(targets, signature)
+        args = [A.Var(call.callee)] + [_copy_expr(arg) for arg in call.args]
+        return A.CallExpr(dispatcher.name, args)
+
+    def _signature(self, targets):
+        """All targets must agree on arity, parameter kinds, and return
+        type — otherwise no single dispatcher (or C call) is well
+        formed."""
+        protos = []
+        for name in targets:
+            proc = self.program.proc(name)
+            protos.append((tuple(p.kind for p in proc.params), proc.ret))
+        if len(set(protos)) != 1:
+            raise LoweringError(
+                "function-pointer targets %r have incompatible signatures" % (targets,)
+            )
+        kinds, ret = protos[0]
+        return kinds, ret
+
+    def _make_dispatcher(self, targets, signature):
+        kinds, ret = signature
+        self.counter += 1
+        name = "indirect_%d" % self.counter
+        pointer = A.Param("fp", "fnptr")
+        params = [pointer] + [
+            A.Param("a%d" % index, kind) for index, kind in enumerate(kinds)
+        ]
+        args = [A.Var("a%d" % index) for index in range(len(kinds))]
+
+        def branch_stmt(target):
+            call = A.CallExpr(target, [_copy_expr(a) for a in args])
+            if ret == "int":
+                return A.Assign("r", call)
+            return A.CallStmt(call)
+
+        # Build: if (fp == t1) { r = t1(...); } else if ... else { r = tk(...); }
+        stmts = []
+        if ret == "int":
+            stmts.append(A.LocalDecl("r", A.Num(0)))
+        chain = None
+        for target in reversed(targets):
+            body = A.Block([branch_stmt(target)])
+            if chain is None:
+                chain = body
+            else:
+                cond = A.Bin("==", A.Var("fp"), A.FuncRef(target))
+                chain = A.Block([A.If(cond, body, chain)])
+        stmts.extend(chain.stmts)
+        if ret == "int":
+            stmts.append(A.Return(A.Var("r")))
+        dispatcher = A.Proc(name, params, ret, A.Block(stmts))
+        self.dispatchers.append(dispatcher)
+        return dispatcher
+
+
+def _copy_expr(expr):
+    from repro.core.executable import _copy_expr as copier
+
+    return copier(expr)

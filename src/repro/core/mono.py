@@ -1,0 +1,221 @@
+"""Rendering a *monovariant* vertex set (Binkley / Weiser slices) as an
+executable program.
+
+Unlike the polyvariant renderer, every procedure has exactly one version
+and keeps its original name; a parameter position survives if its
+formal-in or formal-out vertex is in the set; a call argument is printed
+iff the callee keeps that position.  The algorithms that produce these
+sets (``binkley_slice``, ``weiser_slice``) guarantee the corresponding
+actual-ins are present, so no parameter mismatch remains.
+"""
+
+from repro.core.executable import ExecutableSlice, _copy_expr
+from repro.lang import ast_nodes as A
+
+
+def monovariant_program(sdg, slice_set):
+    """Render ``slice_set`` (a set of SDG vertex ids) as a program."""
+    program, info = sdg.program, sdg.info
+    if program is None or info is None:
+        raise ValueError("SDG lacks program/info back-references")
+    generator = _MonoGenerator(sdg, slice_set)
+    return generator.run()
+
+
+class _MonoGenerator(object):
+    def __init__(self, sdg, slice_set):
+        self.sdg = sdg
+        self.slice_set = frozenset(slice_set)
+        self.program = sdg.program
+        self.info = sdg.info
+        self.stmt_map = {}
+
+    def run(self):
+        new_procs = []
+        kept_procs = set()
+        for proc in self.program.procs:
+            entry = self.sdg.entry_vertex[proc.name]
+            if entry not in self.slice_set and proc.name != "main":
+                continue
+            kept_procs.add(proc.name)
+            new_procs.append(self._render_proc(proc))
+
+        funcrefs = self._collect_funcrefs(new_procs)
+        for name in sorted(funcrefs - kept_procs):
+            try:
+                orig = self.program.proc(name)
+            except KeyError:
+                continue
+            params = [A.Param(p.name, p.kind) for p in orig.params]
+            new_procs.append(A.Proc(name, params, orig.ret, A.Block([])))
+
+        globals_ = self._referenced_globals(new_procs)
+        new_program = A.Program(globals_, new_procs)
+        from repro.lang.sema import check
+
+        check(new_program)
+        return ExecutableSlice(new_program, self.stmt_map, {})
+
+    # -- procedure-level filters -------------------------------------------------
+
+    def _kept_positions(self, proc_name):
+        kept = []
+        for role, vid in self.sdg.formal_ins[proc_name].items():
+            if role[0] == "param" and vid in self.slice_set:
+                kept.append(role[1])
+        for role, vid in self.sdg.formal_outs[proc_name].items():
+            if role[0] == "param" and vid in self.slice_set and role[1] not in kept:
+                kept.append(role[1])
+        return sorted(kept)
+
+    def _returns_value(self, proc_name):
+        fo = self.sdg.formal_outs[proc_name].get(("ret",))
+        return fo is not None and fo in self.slice_set
+
+    def _render_proc(self, proc):
+        positions = self._kept_positions(proc.name)
+        params = [A.Param(proc.params[i].name, proc.params[i].kind) for i in positions]
+        ret = "int" if self._returns_value(proc.name) else "void"
+        body = A.Block(self._render_block(proc.body))
+        self._ensure_local_decls(proc, body, params)
+        return A.Proc(proc.name, params, ret, body)
+
+    # -- statements -----------------------------------------------------------------
+
+    def _render_block(self, block):
+        rendered = []
+        for stmt in block.stmts:
+            new_stmt = self._render_stmt(stmt)
+            if new_stmt is not None:
+                rendered.append(new_stmt)
+        return rendered
+
+    def _render_stmt(self, stmt):
+        vid = self.sdg.vertex_of_stmt.get(stmt.uid)
+        in_slice = vid in self.slice_set
+
+        call = _call_expr(stmt)
+        if call is not None and not call.is_indirect:
+            if not in_slice:
+                return None
+            return self._render_call(stmt, vid)
+
+        if isinstance(stmt, A.If):
+            if not in_slice:
+                return None
+            then = A.Block(self._render_block(stmt.then))
+            els = None
+            if stmt.els is not None:
+                els_stmts = self._render_block(stmt.els)
+                if els_stmts:
+                    els = A.Block(els_stmts)
+            new_stmt = A.If(_copy_expr(stmt.cond), then, els)
+        elif isinstance(stmt, A.While):
+            if not in_slice:
+                return None
+            new_stmt = A.While(_copy_expr(stmt.cond), A.Block(self._render_block(stmt.body)))
+        elif not in_slice:
+            return None
+        elif isinstance(stmt, A.Assign):
+            expr = A.InputExpr() if isinstance(stmt.expr, A.InputExpr) else _copy_expr(stmt.expr)
+            new_stmt = A.Assign(stmt.name, expr)
+        elif isinstance(stmt, A.LocalDecl):
+            init = None
+            if stmt.init is not None:
+                init = A.InputExpr() if isinstance(stmt.init, A.InputExpr) else _copy_expr(stmt.init)
+            new_stmt = A.LocalDecl(stmt.name, init, stmt.is_fnptr)
+        elif isinstance(stmt, A.Return):
+            proc_name = self.sdg.vertices[vid].proc
+            if stmt.expr is not None and self._returns_value(proc_name):
+                new_stmt = A.Return(_copy_expr(stmt.expr))
+            else:
+                new_stmt = A.Return(None)
+        elif isinstance(stmt, A.Print):
+            new_stmt = A.Print([_copy_expr(arg) for arg in stmt.args], stmt.fmt)
+        elif isinstance(stmt, A.ExitStmt):
+            new_stmt = A.ExitStmt(_copy_expr(stmt.arg) if stmt.arg else None)
+        else:
+            raise AssertionError("unknown statement %r" % stmt)
+        self.stmt_map[new_stmt.uid] = stmt.uid
+        return new_stmt
+
+    def _render_call(self, stmt, call_vid):
+        vertex = self.sdg.vertices[call_vid]
+        site = self.sdg.call_sites[vertex.site_label]
+        positions = self._kept_positions(site.callee)
+        call = _call_expr(stmt)
+        args = [_copy_expr(call.args[index]) for index in positions]
+        new_call = A.CallExpr(site.callee, args)
+
+        ret_ao = site.actual_outs.get(("ret",))
+        captured = (
+            ret_ao is not None
+            and ret_ao in self.slice_set
+            and self._returns_value(site.callee)
+        )
+        if captured and isinstance(stmt, A.Assign):
+            new_stmt = A.Assign(stmt.name, new_call)
+        elif captured and isinstance(stmt, A.LocalDecl):
+            new_stmt = A.LocalDecl(stmt.name, new_call, stmt.is_fnptr)
+        else:
+            new_stmt = A.CallStmt(new_call)
+        self.stmt_map[new_stmt.uid] = stmt.uid
+        return new_stmt
+
+    # -- post passes -----------------------------------------------------------------
+
+    def _ensure_local_decls(self, orig_proc, body, params):
+        proc_info = self.info.procs[orig_proc.name]
+        param_names = {param.name for param in params}
+        declared = {
+            stmt.name for stmt in A.walk_stmts(body) if isinstance(stmt, A.LocalDecl)
+        }
+        mentioned = set()
+        for stmt in A.walk_stmts(body):
+            if isinstance(stmt, (A.Assign, A.LocalDecl)):
+                mentioned.add(stmt.name)
+            for expr in A.stmt_exprs(stmt):
+                mentioned.update(A.expr_vars(expr))
+        missing = []
+        for name in sorted(mentioned - declared - param_names):
+            if name in proc_info.locals:
+                missing.append(A.LocalDecl(name, None, proc_info.locals[name]))
+            elif name in proc_info.param_kinds:
+                is_fnptr = proc_info.param_kinds[name] == "fnptr"
+                missing.append(A.LocalDecl(name, None, is_fnptr))
+        body.stmts[:0] = missing
+
+    def _collect_funcrefs(self, procs):
+        names = set()
+        for proc in procs:
+            for stmt in A.walk_stmts(proc.body):
+                for expr in A.stmt_exprs(stmt):
+                    for sub in A.walk_exprs(expr):
+                        if isinstance(sub, A.FuncRef):
+                            names.add(sub.name)
+        return names
+
+    def _referenced_globals(self, procs):
+        mentioned = set()
+        for proc in procs:
+            for stmt in A.walk_stmts(proc.body):
+                if isinstance(stmt, (A.Assign, A.LocalDecl)):
+                    mentioned.add(stmt.name)
+                for expr in A.stmt_exprs(stmt):
+                    mentioned.update(A.expr_vars(expr))
+        globals_ = []
+        for decl in self.program.globals:
+            if decl.name in mentioned:
+                init = _copy_expr(decl.init) if decl.init is not None else None
+                globals_.append(A.GlobalDecl(decl.name, init, decl.is_fnptr))
+        return globals_
+
+
+def _call_expr(stmt):
+    if isinstance(stmt, A.CallStmt):
+        return stmt.call
+    if isinstance(stmt, A.Assign) and isinstance(stmt.expr, A.CallExpr):
+        return stmt.expr
+    if isinstance(stmt, A.LocalDecl) and isinstance(stmt.init, A.CallExpr):
+        return stmt.init
+    return None

@@ -1,0 +1,169 @@
+"""Algorithm 1: specialization slicing, end to end.
+
+    1. encode the SDG as a PDS                         (Defn. 3.2)
+    2. A1 = Prestar(A0)  — stack-configuration slice   (§3.2)
+    3. A6 = MRD(A1)      — reverse; determinize; minimize; reverse;
+                           remove-epsilon              (§3.3)
+    4. read out the specialized SDG R from A6          (§3.4)
+
+Step 5 (pretty-printing R as source text) lives in
+:mod:`repro.core.executable`.
+"""
+
+import time
+
+from repro.core.criteria import (
+    as_query_view,
+    empty_stack_criterion,
+    reachable_contexts_criterion,
+)
+from repro.core.readout import read_out_sdg
+from repro.fsa import determinize, remove_epsilon, reverse
+from repro.fsa.minimize import minimize
+from repro.pds import encode_sdg, prestar
+
+
+class SpecializationResult(object):
+    """Everything Algorithm 1 produces, plus instrumentation.
+
+    Attributes:
+        source_sdg: the input SDG ``S``.
+        criterion: the query automaton ``A0``.
+        encoding: the :class:`SDGEncoding` of ``S``.
+        a1: the Prestar automaton (stack-configuration slice).
+        a6: the MRD automaton.
+        sdg: the specialized SDG ``R``.
+        pdgs: dict A6-state -> :class:`SpecializedPDG`.
+        bindings: dict (caller state, orig site label) -> callee state.
+        map_back_vertex / map_back_site: the mapping ``MC``.
+        stats: dict of instrumentation (state counts, timings).
+    """
+
+    def __init__(self):
+        self.source_sdg = None
+        self.criterion = None
+        self.encoding = None
+        self.a1 = None
+        self.a6 = None
+        self.sdg = None
+        self.pdgs = {}
+        self.bindings = {}
+        self.map_back_vertex = {}
+        self.map_back_site = {}
+        self.stats = {}
+
+    # -- convenience queries ----------------------------------------------------
+
+    def specializations_of(self, proc):
+        """The :class:`SpecializedPDG` list for an original procedure."""
+        return sorted(
+            (spec for spec in self.pdgs.values() if spec.proc == proc),
+            key=lambda spec: spec.name,
+        )
+
+    def version_counts(self):
+        """Map original procedure name -> number of specialized
+        versions (0 for procedures sliced away entirely) — the Fig. 18
+        statistic."""
+        counts = {proc: 0 for proc in self.source_sdg.proc_vertices}
+        for spec in self.pdgs.values():
+            counts[spec.proc] += 1
+        return counts
+
+    def closure_elems(self):
+        """``Elems`` of the stack-configuration slice (the closure-slice
+        element set both §8 comparisons normalize against)."""
+        return self.encoding.elems(self.a1)
+
+    def specialized_vertex_total(self):
+        """Total vertices in R (replicated elements counted once per
+        copy)."""
+        return self.sdg.vertex_count()
+
+    def callee_name(self, caller_spec, orig_site_label):
+        """The name of the specialization a call site is bound to, or
+        None if the site is unbound (call vertex not in this variant)."""
+        callee_state = self.bindings.get((caller_spec.state, orig_site_label))
+        if callee_state is None:
+            return None
+        return self.pdgs[callee_state].name
+
+
+def specialization_slice(sdg, criterion, contexts="reachable"):
+    """Run Algorithm 1.
+
+    Args:
+        sdg: the input :class:`SystemDependenceGraph`.
+        criterion: either a prepared query automaton ``A0``, or an
+            iterable of PDG vertex ids.
+        contexts: when ``criterion`` is a vertex set, how to complete it
+            into a configuration language: ``"reachable"`` slices from
+            every realizable calling context of the vertices (the wc/go
+            style criterion); ``"empty"`` slices from the vertices with
+            the empty stack only (the Fig. 9 style criterion — vertices
+            must then be in ``main``).
+
+    Returns:
+        a :class:`SpecializationResult`.
+    """
+    result = SpecializationResult()
+    result.source_sdg = sdg
+
+    t0 = time.perf_counter()
+    encoding = encode_sdg(sdg)
+    result.encoding = encoding
+
+    if hasattr(criterion, "add_transition"):
+        a0 = criterion
+    else:
+        vids = sorted(criterion)
+        if contexts == "reachable":
+            a0 = reachable_contexts_criterion(encoding, vids)
+        elif contexts == "empty":
+            a0 = empty_stack_criterion(encoding, vids)
+        else:
+            raise ValueError("contexts must be 'reachable' or 'empty'")
+    result.criterion = a0
+
+    t1 = time.perf_counter()
+    a1 = prestar(encoding.pds, a0)
+    result.a1 = a1
+    t2 = time.perf_counter()
+
+    # Lines 4-8: the five automaton operations, instrumented separately
+    # so experiments can report determinize input/output sizes (§4.2).
+    view = as_query_view(a1, encoding)
+    a2 = reverse(view)
+    a2 = remove_epsilon(a2) if a2.has_epsilon() else a2
+    a3 = determinize(a2)
+    a4 = minimize(a3)
+    a5 = reverse(a4)
+    a6 = remove_epsilon(a5) if a5.has_epsilon() else a5
+    result.a6 = a6
+    t3 = time.perf_counter()
+
+    r_sdg, pdgs, bindings, map_back_vertex, map_back_site = read_out_sdg(
+        sdg, a6, encoding
+    )
+    t4 = time.perf_counter()
+
+    result.sdg = r_sdg
+    result.pdgs = pdgs
+    result.bindings = bindings
+    result.map_back_vertex = map_back_vertex
+    result.map_back_site = map_back_site
+    result.stats = {
+        "encode_seconds": t1 - t0,
+        "prestar_seconds": t2 - t1,
+        "automaton_seconds": t3 - t2,
+        "readout_seconds": t4 - t3,
+        "total_seconds": t4 - t0,
+        "a1_states": len(view.states),
+        "a2_states": len(a2.states),
+        "a3_states": len(a3.states),
+        "a4_states": len(a4.states),
+        "a6_states": len(a6.states),
+        "determinize_input_states": len(a2.states),
+        "determinize_output_states": len(a3.states),
+    }
+    return result

@@ -1,0 +1,37 @@
+"""Finite-state automata and transducers (the OpenFST substitute).
+
+Provides exactly the operations Algorithm 1 and the §8.3 reslicing check
+need: reversal, subset-construction determinization, Hopcroft
+minimization, epsilon removal, product intersection, complementation,
+language equality, and finite-state transducers with inverse application.
+"""
+
+from repro.fsa.automaton import FiniteAutomaton
+from repro.fsa.determinize import determinize
+from repro.fsa.minimize import minimize
+from repro.fsa.ops import (
+    complement,
+    intersection,
+    is_empty,
+    language_equal,
+    mrd,
+    remove_epsilon,
+    reverse,
+    union,
+)
+from repro.fsa.transducer import Transducer
+
+__all__ = [
+    "FiniteAutomaton",
+    "Transducer",
+    "complement",
+    "determinize",
+    "intersection",
+    "is_empty",
+    "language_equal",
+    "minimize",
+    "mrd",
+    "remove_epsilon",
+    "reverse",
+    "union",
+]

@@ -1,0 +1,40 @@
+"""Subset-construction determinization.
+
+Input may be nondeterministic with multiple initial states and epsilon
+transitions.  Output is a deterministic automaton whose states are
+frozensets of input states; only reachable subsets are constructed, and
+the (total) dead state is left implicit — the result may be partial.
+"""
+
+from collections import deque
+
+from repro.fsa.automaton import EPSILON, FiniteAutomaton
+
+
+def determinize(automaton):
+    """Return an equivalent deterministic automaton (subset construction)."""
+    start = frozenset(automaton.epsilon_closure(automaton.initials))
+    result = FiniteAutomaton(initials=[start])
+    if start & automaton.finals:
+        result.add_final(start)
+    queue = deque([start])
+    seen = {start}
+    while queue:
+        subset = queue.popleft()
+        symbols = set()
+        for state in subset:
+            symbols |= {s for s in automaton.out_symbols(state) if s is not EPSILON}
+        for symbol in symbols:
+            targets = set()
+            for state in subset:
+                targets |= automaton.targets(state, symbol)
+            closure = frozenset(automaton.epsilon_closure(targets))
+            if not closure:
+                continue
+            result.add_transition(subset, symbol, closure)
+            if closure not in seen:
+                seen.add(closure)
+                if closure & automaton.finals:
+                    result.add_final(closure)
+                queue.append(closure)
+    return result

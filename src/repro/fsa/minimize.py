@@ -1,0 +1,89 @@
+"""DFA minimization by partition refinement (Moore's algorithm).
+
+The input must be deterministic (possibly partial: missing transitions
+go to an implicit dead state).  The result is the minimal *trim* DFA:
+unreachable states and the dead state are removed, so the minimal
+automaton for the empty language has no states.
+
+Moore's refinement — repeatedly split blocks by the successor-block
+signature until stable — is O(n^2 |Σ|) in the worst case, versus
+Hopcroft's O(n log n); the automata arising from Prestar on SDGs are
+small enough (a few states per procedure specialization) that the
+simpler algorithm is the better engineering choice.  The module-level
+benchmark ``benchmarks/test_determinize_shrink.py`` confirms minimize is
+never the bottleneck.
+"""
+
+from repro.fsa.automaton import FiniteAutomaton
+
+_DEAD = ("__dead__",)
+
+
+def minimize(automaton):
+    """Return the minimal trim DFA equivalent to ``automaton``."""
+    if not automaton.is_deterministic():
+        raise ValueError("minimize requires a deterministic automaton")
+    trimmed = automaton.trim()
+    if not trimmed.states or not trimmed.finals:
+        return FiniteAutomaton()
+
+    states = list(trimmed.states) + [_DEAD]
+
+    # Sparse successor lists: a missing transition is equivalent to a
+    # transition into the dead state, so signatures only record
+    # transitions whose target block differs from the dead state's —
+    # avoiding an O(|states| * |alphabet|) signature per round (SDG
+    # alphabets contain every vertex id, so dense signatures are huge).
+    out_transitions = {state: [] for state in states}
+    for src, symbol, dst in trimmed.transitions():
+        out_transitions[src].append((symbol, dst))
+    for transitions in out_transitions.values():
+        transitions.sort(key=lambda item: repr(item[0]))
+
+    # Initial partition: finals vs non-finals (dead state is non-final).
+    block_of = {}
+    for state in states:
+        block_of[state] = 0 if (state is not _DEAD and state in trimmed.finals) else 1
+
+    # Refinement only ever splits blocks, so iterate until the block
+    # count stabilizes.
+    while True:
+        block_count = len(set(block_of.values()))
+        dead_block = block_of[_DEAD]
+        signatures = {}
+        new_block_of = {}
+        for state in states:
+            sparse = tuple(
+                (symbol, block_of[dst])
+                for symbol, dst in out_transitions[state]
+                if block_of[dst] != dead_block
+            )
+            signature = (block_of[state], sparse)
+            if signature not in signatures:
+                signatures[signature] = len(signatures)
+            new_block_of[state] = signatures[signature]
+        block_of = new_block_of
+        if len(signatures) == block_count:
+            break
+
+    # Build the quotient automaton, dropping the dead state's block.
+    blocks = {}
+    for state in states:
+        blocks.setdefault(block_of[state], set()).add(state)
+    dead_block = block_of[_DEAD]
+
+    result = FiniteAutomaton()
+    representative = {
+        index: frozenset(members - {_DEAD}) for index, members in blocks.items()
+    }
+    initial = next(iter(trimmed.initials))
+    result.add_initial(representative[block_of[initial]])
+    for state in trimmed.finals:
+        result.add_final(representative[block_of[state]])
+    for src, symbol, dst in trimmed.transitions():
+        if block_of[dst] == dead_block:
+            continue
+        result.add_transition(
+            representative[block_of[src]], symbol, representative[block_of[dst]]
+        )
+    return result.trim()

@@ -1,0 +1,71 @@
+"""Finite-state transducers for the §8.3 reslicing check.
+
+The reslicing check needs only *alphabetic* (length-preserving, state-
+less) transductions: every vertex or call-site symbol of the specialized
+SDG ``R`` maps to the symbol of the original SDG ``S`` it specializes.
+Such a transduction is a plain symbol-to-symbol mapping, and its inverse
+maps one ``S`` symbol to the set of ``R`` symbols specializing it.
+
+``apply`` rewrites an automaton's labels through the mapping (computing
+``T(A)``); ``apply_inverse`` computes an automaton for ``T^{-1}(A)``.
+Both preserve the state graph, which is exactly the composition of a
+recognizer with a one-state transducer.
+"""
+
+from repro.fsa.automaton import EPSILON, FiniteAutomaton
+
+
+class Transducer(object):
+    """A one-state, symbol-to-symbol finite-state transducer."""
+
+    def __init__(self, mapping=None):
+        self._map = dict(mapping or {})
+        self._inverse = {}
+        for src, dst in self._map.items():
+            self._inverse.setdefault(dst, set()).add(src)
+
+    def add(self, src, dst):
+        self._map[src] = dst
+        self._inverse.setdefault(dst, set()).add(src)
+
+    def __getitem__(self, symbol):
+        return self._map[symbol]
+
+    def get(self, symbol, default=None):
+        return self._map.get(symbol, default)
+
+    def inverse_of(self, symbol):
+        """All input symbols mapping to ``symbol``."""
+        return set(self._inverse.get(symbol, ()))
+
+    def apply(self, automaton):
+        """T(A): rewrite each transition label through the mapping.
+        Labels without a mapping are kept unchanged (identity)."""
+        result = FiniteAutomaton(automaton.initials, automaton.finals)
+        for state in automaton.states:
+            result.add_state(state)
+        for src, symbol, dst in automaton.transitions():
+            if symbol is EPSILON:
+                result.add_transition(src, EPSILON, dst)
+            else:
+                result.add_transition(src, self._map.get(symbol, symbol), dst)
+        return result
+
+    def apply_inverse(self, automaton):
+        """T^{-1}(A): each transition on ``y`` becomes transitions on
+        every ``x`` with ``T(x) = y``.  Symbols with no preimage are
+        dropped (the inverse transduction of a symbol outside the
+        transducer's range is empty)."""
+        result = FiniteAutomaton(automaton.initials, automaton.finals)
+        for state in automaton.states:
+            result.add_state(state)
+        for src, symbol, dst in automaton.transitions():
+            if symbol is EPSILON:
+                result.add_transition(src, EPSILON, dst)
+                continue
+            for preimage in self._inverse.get(symbol, ()):
+                result.add_transition(src, preimage, dst)
+        return result
+
+    def __len__(self):
+        return len(self._map)

@@ -1,0 +1,79 @@
+"""TinyC: the subject language for the specialization-slicing reproduction.
+
+TinyC is a small C-like language with exactly the features the paper's
+examples exercise: global integer variables, procedures with value and
+``ref`` parameters, integer expressions, ``if``/``while`` control flow,
+direct and recursive calls, function pointers with indirect calls, and the
+library calls ``print``/``input``/``exit``.
+
+The public surface:
+
+* :func:`parse` — source text to :class:`~repro.lang.ast_nodes.Program`.
+* :func:`check` — semantic analysis (returns a :class:`~repro.lang.sema.ProgramInfo`).
+* :func:`pretty` — AST back to source text.
+* :class:`~repro.lang.interp.Interpreter` — a tree-walking interpreter used
+  to validate that executable slices are semantically faithful.
+"""
+
+from repro.lang.ast_nodes import (
+    Assign,
+    Bin,
+    Block,
+    CallExpr,
+    CallStmt,
+    ExitStmt,
+    FuncRef,
+    GlobalDecl,
+    If,
+    InputExpr,
+    LocalDecl,
+    Num,
+    Param,
+    Print,
+    Proc,
+    Program,
+    Return,
+    Un,
+    Var,
+    While,
+)
+from repro.lang.errors import LexError, ParseError, SemanticError, TinyCError
+from repro.lang.interp import ExecutionLimitExceeded, Interpreter, RunResult
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.sema import ProcInfo, ProgramInfo, check
+
+__all__ = [
+    "Assign",
+    "Bin",
+    "Block",
+    "CallExpr",
+    "CallStmt",
+    "ExitStmt",
+    "ExecutionLimitExceeded",
+    "FuncRef",
+    "GlobalDecl",
+    "If",
+    "InputExpr",
+    "Interpreter",
+    "LexError",
+    "LocalDecl",
+    "Num",
+    "Param",
+    "ParseError",
+    "Print",
+    "Proc",
+    "ProcInfo",
+    "Program",
+    "ProgramInfo",
+    "Return",
+    "RunResult",
+    "SemanticError",
+    "TinyCError",
+    "Un",
+    "Var",
+    "While",
+    "check",
+    "parse",
+    "pretty",
+]

@@ -1,0 +1,32 @@
+"""Error types raised by the TinyC front end."""
+
+
+class TinyCError(Exception):
+    """Base class for all TinyC front-end errors.
+
+    Carries an optional source position so callers can render
+    ``file:line:col`` style diagnostics.
+    """
+
+    def __init__(self, message, line=None, col=None):
+        self.message = message
+        self.line = line
+        self.col = col
+        if line is not None:
+            super().__init__("line %d:%d: %s" % (line, col or 0, message))
+        else:
+            super().__init__(message)
+
+
+class LexError(TinyCError):
+    """Raised when the lexer encounters an unrecognized character."""
+
+
+class ParseError(TinyCError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class SemanticError(TinyCError):
+    """Raised by semantic analysis: undeclared names, arity mismatches,
+    calls in nested expression positions, type misuse of function pointers,
+    and similar violations."""

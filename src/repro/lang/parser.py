@@ -1,0 +1,346 @@
+"""Recursive-descent parser for TinyC.
+
+Grammar (EBNF; ``{x}`` = repetition, ``[x]`` = option)::
+
+    program     = { global_decl | proc_decl } ;
+    global_decl = ("int" | "fnptr") ident [ "=" expr ] ";" ;
+    proc_decl   = ("void" | "int") ident "(" [ params ] ")" block ;
+    params      = param { "," param } ;
+    param       = "int" ident | "ref" "int" ident | "fnptr" ident ;
+    block       = "{" { stmt } "}" ;
+    stmt        = ("int" | "fnptr") ident [ "=" expr ] ";"
+                | ident "=" expr ";"
+                | ident "(" [ args ] ")" ";"
+                | "if" "(" expr ")" block [ "else" (block | if_stmt) ]
+                | "while" "(" expr ")" block
+                | "return" [ expr ] ";"
+                | "print" "(" [ string "," ] [ args ] ")" ";"
+                | "exit" "(" [ expr ] ")" ";" ;
+    expr        = or_expr ;
+    or_expr     = and_expr { "||" and_expr } ;
+    and_expr    = cmp_expr { "&&" cmp_expr } ;
+    cmp_expr    = add_expr [ ("=="|"!="|"<"|"<="|">"|">=") add_expr ] ;
+    add_expr    = mul_expr { ("+"|"-") mul_expr } ;
+    mul_expr    = unary { ("*"|"/"|"%") unary } ;
+    unary       = ("-"|"!") unary | primary ;
+    primary     = num | ident | ident "(" [ args ] ")" | "&" ident
+                | "input" "(" ")" | "(" expr ")" ;
+
+Calls may appear anywhere an expression is allowed syntactically; the
+semantic checker restricts them to statement position or the entire
+right-hand side of an assignment (which is how the SDG models calls).
+"""
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import ParseError
+from repro.lang.tokens import tokenize
+
+
+class Parser(object):
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset=0):
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _at(self, *kinds):
+        return self._peek().kind in kinds
+
+    def _advance(self):
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _expect(self, kind):
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                "expected %r but found %r" % (kind, token.kind), token.line, token.col
+            )
+        return self._advance()
+
+    @staticmethod
+    def _pos(token):
+        return (token.line, token.col)
+
+    # -- declarations ------------------------------------------------------
+
+    def parse_program(self):
+        globals_, procs = [], []
+        while not self._at("eof"):
+            token = self._peek()
+            if token.kind == "fnptr":
+                globals_.append(self._parse_global())
+            elif token.kind in ("int", "void"):
+                # Distinguish "int g = ..;" / "int g;" from "int f(..) {..}".
+                if self._peek(1).kind != "ident":
+                    raise ParseError(
+                        "expected a name after type", token.line, token.col
+                    )
+                if self._peek(2).kind == "(":
+                    procs.append(self._parse_proc())
+                else:
+                    globals_.append(self._parse_global())
+            else:
+                raise ParseError(
+                    "expected a declaration, found %r" % token.kind,
+                    token.line,
+                    token.col,
+                )
+        return A.Program(globals_, procs)
+
+    def _parse_global(self):
+        type_token = self._advance()
+        is_fnptr = type_token.kind == "fnptr"
+        name = self._expect("ident")
+        init = None
+        if self._at("="):
+            self._advance()
+            init = self._parse_expr()
+        self._expect(";")
+        return A.GlobalDecl(name.value, init, is_fnptr, pos=self._pos(type_token))
+
+    def _parse_proc(self):
+        ret_token = self._advance()  # "int" or "void"
+        name = self._expect("ident")
+        self._expect("(")
+        params = []
+        if not self._at(")"):
+            params.append(self._parse_param())
+            while self._at(","):
+                self._advance()
+                params.append(self._parse_param())
+        self._expect(")")
+        body = self._parse_block()
+        return A.Proc(name.value, params, ret_token.kind, body, pos=self._pos(ret_token))
+
+    def _parse_param(self):
+        token = self._peek()
+        if token.kind == "ref":
+            self._advance()
+            self._expect("int")
+            name = self._expect("ident")
+            return A.Param(name.value, "ref", pos=self._pos(token))
+        if token.kind == "fnptr":
+            self._advance()
+            name = self._expect("ident")
+            return A.Param(name.value, "fnptr", pos=self._pos(token))
+        self._expect("int")
+        name = self._expect("ident")
+        return A.Param(name.value, "value", pos=self._pos(token))
+
+    # -- statements --------------------------------------------------------
+
+    def _parse_block(self):
+        open_token = self._expect("{")
+        stmts = []
+        while not self._at("}"):
+            stmts.append(self._parse_stmt())
+        self._expect("}")
+        return A.Block(stmts, pos=self._pos(open_token))
+
+    def _parse_stmt(self):
+        token = self._peek()
+        if token.kind in ("int", "fnptr"):
+            return self._parse_local_decl()
+        if token.kind == "if":
+            return self._parse_if()
+        if token.kind == "while":
+            return self._parse_while()
+        if token.kind == "return":
+            return self._parse_return()
+        if token.kind == "print":
+            return self._parse_print()
+        if token.kind == "exit":
+            return self._parse_exit()
+        if token.kind == "ident":
+            if self._peek(1).kind == "=":
+                return self._parse_assign()
+            if self._peek(1).kind == "(":
+                call = self._parse_call_expr()
+                self._expect(";")
+                return A.CallStmt(call, pos=self._pos(token))
+        raise ParseError(
+            "expected a statement, found %r" % token.kind, token.line, token.col
+        )
+
+    def _parse_local_decl(self):
+        type_token = self._advance()
+        is_fnptr = type_token.kind == "fnptr"
+        name = self._expect("ident")
+        init = None
+        if self._at("="):
+            self._advance()
+            init = self._parse_expr()
+        self._expect(";")
+        return A.LocalDecl(name.value, init, is_fnptr, pos=self._pos(type_token))
+
+    def _parse_assign(self):
+        name = self._expect("ident")
+        self._expect("=")
+        expr = self._parse_expr()
+        self._expect(";")
+        return A.Assign(name.value, expr, pos=self._pos(name))
+
+    def _parse_if(self):
+        token = self._expect("if")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        then = self._parse_block()
+        els = None
+        if self._at("else"):
+            self._advance()
+            if self._at("if"):
+                # "else if" chains desugar to a nested block.
+                nested = self._parse_if()
+                els = A.Block([nested], pos=nested.pos)
+            else:
+                els = self._parse_block()
+        return A.If(cond, then, els, pos=self._pos(token))
+
+    def _parse_while(self):
+        token = self._expect("while")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        body = self._parse_block()
+        return A.While(cond, body, pos=self._pos(token))
+
+    def _parse_return(self):
+        token = self._expect("return")
+        expr = None
+        if not self._at(";"):
+            expr = self._parse_expr()
+        self._expect(";")
+        return A.Return(expr, pos=self._pos(token))
+
+    def _parse_print(self):
+        token = self._expect("print")
+        self._expect("(")
+        fmt = None
+        args = []
+        if self._at("string"):
+            fmt = self._advance().value
+            if self._at(","):
+                self._advance()
+        if not self._at(")"):
+            args.append(self._parse_expr())
+            while self._at(","):
+                self._advance()
+                args.append(self._parse_expr())
+        self._expect(")")
+        self._expect(";")
+        return A.Print(args, fmt, pos=self._pos(token))
+
+    def _parse_exit(self):
+        token = self._expect("exit")
+        self._expect("(")
+        arg = None
+        if not self._at(")"):
+            arg = self._parse_expr()
+        self._expect(")")
+        self._expect(";")
+        return A.ExitStmt(arg, pos=self._pos(token))
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self._at("||"):
+            op = self._advance()
+            right = self._parse_and()
+            left = A.Bin("||", left, right, pos=self._pos(op))
+        return left
+
+    def _parse_and(self):
+        left = self._parse_cmp()
+        while self._at("&&"):
+            op = self._advance()
+            right = self._parse_cmp()
+            left = A.Bin("&&", left, right, pos=self._pos(op))
+        return left
+
+    def _parse_cmp(self):
+        left = self._parse_add()
+        if self._at("==", "!=", "<", "<=", ">", ">="):
+            op = self._advance()
+            right = self._parse_add()
+            return A.Bin(op.kind, left, right, pos=self._pos(op))
+        return left
+
+    def _parse_add(self):
+        left = self._parse_mul()
+        while self._at("+", "-"):
+            op = self._advance()
+            right = self._parse_mul()
+            left = A.Bin(op.kind, left, right, pos=self._pos(op))
+        return left
+
+    def _parse_mul(self):
+        left = self._parse_unary()
+        while self._at("*", "/", "%"):
+            op = self._advance()
+            right = self._parse_unary()
+            left = A.Bin(op.kind, left, right, pos=self._pos(op))
+        return left
+
+    def _parse_unary(self):
+        if self._at("-", "!"):
+            op = self._advance()
+            operand = self._parse_unary()
+            return A.Un(op.kind, operand, pos=self._pos(op))
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self._peek()
+        if token.kind == "num":
+            self._advance()
+            return A.Num(token.value, pos=self._pos(token))
+        if token.kind == "&":
+            self._advance()
+            name = self._expect("ident")
+            return A.FuncRef(name.value, pos=self._pos(token))
+        if token.kind == "input":
+            self._advance()
+            self._expect("(")
+            self._expect(")")
+            return A.InputExpr(pos=self._pos(token))
+        if token.kind == "ident":
+            if self._peek(1).kind == "(":
+                return self._parse_call_expr()
+            self._advance()
+            return A.Var(token.value, pos=self._pos(token))
+        if token.kind == "(":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        raise ParseError(
+            "expected an expression, found %r" % token.kind, token.line, token.col
+        )
+
+    def _parse_call_expr(self):
+        name = self._expect("ident")
+        self._expect("(")
+        args = []
+        if not self._at(")"):
+            args.append(self._parse_expr())
+            while self._at(","):
+                self._advance()
+                args.append(self._parse_expr())
+        self._expect(")")
+        return A.CallExpr(name.value, args, pos=self._pos(name))
+
+
+def parse(source):
+    """Parse TinyC ``source`` text into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()

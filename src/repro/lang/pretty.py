@@ -1,0 +1,145 @@
+"""Pretty-printer: TinyC AST back to source text.
+
+The specialization pipeline produces new ASTs (specialized procedures with
+renamed call targets and reduced parameter lists); this module renders them
+as compilable TinyC source.  ``parse(pretty(ast))`` round-trips.
+"""
+
+from repro.lang import ast_nodes as A
+
+_INDENT = "  "
+
+# Binding strengths for minimal parenthesization.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "%": 5,
+}
+
+
+def _expr(expr, parent_prec=0):
+    if isinstance(expr, A.Num):
+        return str(expr.value)
+    if isinstance(expr, A.Var):
+        return expr.name
+    if isinstance(expr, A.FuncRef):
+        return "&" + expr.name
+    if isinstance(expr, A.InputExpr):
+        return "input()"
+    if isinstance(expr, A.CallExpr):
+        return "%s(%s)" % (expr.callee, ", ".join(_expr(arg) for arg in expr.args))
+    if isinstance(expr, A.Un):
+        inner = _expr(expr.operand, 6)
+        return "%s%s" % (expr.op, inner)
+    if isinstance(expr, A.Bin):
+        prec = _PRECEDENCE[expr.op]
+        # Comparisons are non-associative in the grammar (no chained
+        # a < b < c), so a comparison operand at the same precedence
+        # level must be parenthesized even on the left.
+        non_associative = expr.op in ("==", "!=", "<", "<=", ">", ">=")
+        left = _expr(expr.left, prec + 1 if non_associative else prec)
+        right = _expr(expr.right, prec + 1)  # left-associative
+        text = "%s %s %s" % (left, expr.op, right)
+        if prec < parent_prec:
+            return "(%s)" % text
+        return text
+    raise AssertionError("unknown expression %r" % expr)
+
+
+def _escape(text):
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+    )
+
+
+def _stmt(stmt, depth, lines):
+    pad = _INDENT * depth
+    if isinstance(stmt, A.LocalDecl):
+        keyword = "fnptr" if stmt.is_fnptr else "int"
+        if stmt.init is not None:
+            lines.append("%s%s %s = %s;" % (pad, keyword, stmt.name, _expr(stmt.init)))
+        else:
+            lines.append("%s%s %s;" % (pad, keyword, stmt.name))
+    elif isinstance(stmt, A.Assign):
+        lines.append("%s%s = %s;" % (pad, stmt.name, _expr(stmt.expr)))
+    elif isinstance(stmt, A.CallStmt):
+        lines.append("%s%s;" % (pad, _expr(stmt.call)))
+    elif isinstance(stmt, A.If):
+        lines.append("%sif (%s) {" % (pad, _expr(stmt.cond)))
+        _block(stmt.then, depth + 1, lines)
+        if stmt.els is not None:
+            lines.append("%s} else {" % pad)
+            _block(stmt.els, depth + 1, lines)
+        lines.append("%s}" % pad)
+    elif isinstance(stmt, A.While):
+        lines.append("%swhile (%s) {" % (pad, _expr(stmt.cond)))
+        _block(stmt.body, depth + 1, lines)
+        lines.append("%s}" % pad)
+    elif isinstance(stmt, A.Return):
+        if stmt.expr is not None:
+            lines.append("%sreturn %s;" % (pad, _expr(stmt.expr)))
+        else:
+            lines.append("%sreturn;" % pad)
+    elif isinstance(stmt, A.Print):
+        parts = []
+        if stmt.fmt is not None:
+            parts.append('"%s"' % _escape(stmt.fmt))
+        parts.extend(_expr(arg) for arg in stmt.args)
+        lines.append("%sprint(%s);" % (pad, ", ".join(parts)))
+    elif isinstance(stmt, A.ExitStmt):
+        if stmt.arg is not None:
+            lines.append("%sexit(%s);" % (pad, _expr(stmt.arg)))
+        else:
+            lines.append("%sexit();" % pad)
+    else:
+        raise AssertionError("unknown statement %r" % stmt)
+
+
+def _block(block, depth, lines):
+    for stmt in block.stmts:
+        _stmt(stmt, depth, lines)
+
+
+def _param(param):
+    if param.kind == "ref":
+        return "ref int %s" % param.name
+    if param.kind == "fnptr":
+        return "fnptr %s" % param.name
+    return "int %s" % param.name
+
+
+def pretty(program):
+    """Render ``program`` as TinyC source text."""
+    lines = []
+    for decl in program.globals:
+        keyword = "fnptr" if decl.is_fnptr else "int"
+        if decl.init is not None:
+            lines.append("%s %s = %s;" % (keyword, decl.name, _expr(decl.init)))
+        else:
+            lines.append("%s %s;" % (keyword, decl.name))
+    if program.globals:
+        lines.append("")
+    for proc in program.procs:
+        header = "%s %s(%s) {" % (
+            proc.ret,
+            proc.name,
+            ", ".join(_param(param) for param in proc.params),
+        )
+        lines.append(header)
+        _block(proc.body, 1, lines)
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,24 @@
+"""Pushdown systems (the WALi substitute).
+
+* :mod:`repro.pds.system` — PDS rules and classification.
+* :mod:`repro.pds.prestar` / :mod:`repro.pds.poststar` — the
+  Bouajjani–Esparza–Maler / Finkel–Willems–Wolper saturation procedures,
+  in the efficient formulations of Esparza et al. (2000) / Schwoon
+  (2002).
+* :mod:`repro.pds.encode` — the Fig. 8 encoding of an SDG as a PDS,
+  whose transition relation *is* the unrolled SDG (Defn. 3.4).
+"""
+
+from repro.pds.encode import SDGEncoding, encode_sdg
+from repro.pds.poststar import poststar
+from repro.pds.prestar import prestar
+from repro.pds.system import PushdownSystem, Rule
+
+__all__ = [
+    "PushdownSystem",
+    "Rule",
+    "SDGEncoding",
+    "encode_sdg",
+    "poststar",
+    "prestar",
+]

@@ -1,0 +1,100 @@
+"""The Poststar saturation procedure (Defn. 3.7).
+
+Given a PDS ``P`` and a P-automaton ``A`` accepting configurations
+``C``, produces a P-automaton accepting ``post*(C)`` — for an
+SDG-encoding PDS, the *forward* stack-configuration slice (used by the
+feature-removal algorithm, Alg. 2, and by reachable-context criteria).
+
+Efficient formulation (Schwoon 2002, Alg. 3.4): a fresh state
+``q_{p',γ'}`` is created for each push-rule right-hand-side head; the
+saturation rules are
+
+    Post1: t ∈ A                               => t ∈ A_post*
+    Post2: <p,γ> ↪ <p',ε>,   p -γ->> q         => (p', ε, q)
+    Post3: <p,γ> ↪ <p',γ'>,  p -γ->> q         => (p', γ', q)
+    Post4: <p,γ> ↪ <p',γ'γ''>, p -γ->> q       => (p', γ', q_{p'γ'}),
+                                                  (q_{p'γ'}, γ'', q)
+
+where ``->>`` allows skipping epsilon transitions.  The returned
+automaton has had its epsilon transitions eliminated.
+"""
+
+from collections import deque
+
+from repro.fsa.automaton import EPSILON, FiniteAutomaton
+from repro.fsa.ops import remove_epsilon
+
+
+def poststar(pds, automaton):
+    """Saturate ``automaton`` with post* transitions; returns a new,
+    epsilon-free :class:`FiniteAutomaton`.
+
+    The input automaton must be epsilon-free and must have no
+    transitions into initial (control-location) states.
+    """
+    mid_state = {}
+
+    def mid(p2, gamma1):
+        key = ("__post__", p2, gamma1)
+        mid_state[(p2, gamma1)] = key
+        return key
+
+    rel = set()  # non-epsilon transitions
+    eps_rel = set()  # (p, q) epsilon transitions
+    by_source = {}  # q -> set of (γ, q2) for rel
+    eps_into = {}  # q -> set of p with (p, ε, q)
+    trans = deque()
+
+    for triple in automaton.transitions():
+        if triple[1] is EPSILON:
+            raise ValueError("poststar requires an epsilon-free query automaton")
+        trans.append(triple)
+
+    def add_rel(p, gamma, q):
+        if (p, gamma, q) in rel:
+            return False
+        rel.add((p, gamma, q))
+        by_source.setdefault(p, set()).add((gamma, q))
+        # Epsilon transitions already pointing at ``p`` skip over it:
+        # (p1, ε, p) and (p, γ, q) combine to (p1, γ, q).
+        for p1 in eps_into.get(p, ()):
+            trans.append((p1, gamma, q))
+        return True
+
+    while trans:
+        p, gamma, q = trans.popleft()
+        if gamma is not EPSILON:
+            if not add_rel(p, gamma, q):
+                continue
+            for rule in pds.by_lhs.get((p, gamma), ()):
+                if rule.kind == "pop":
+                    trans.append((rule.p2, EPSILON, q))
+                elif rule.kind == "internal":
+                    trans.append((rule.p2, rule.w[0], q))
+                else:
+                    gamma1, gamma2 = rule.w
+                    qmid = mid(rule.p2, gamma1)
+                    trans.append((rule.p2, gamma1, qmid))
+                    add_rel(qmid, gamma2, q)
+        else:
+            if (p, q) in eps_rel:
+                continue
+            eps_rel.add((p, q))
+            eps_into.setdefault(q, set()).add(p)
+            for (gamma1, q2) in by_source.get(q, set()).copy():
+                trans.append((p, gamma1, q2))
+
+    result = FiniteAutomaton()
+    for state in pds.control_locations:
+        result.add_initial(state)
+    for state in automaton.initials:
+        result.add_initial(state)
+    for state in automaton.finals:
+        result.add_final(state)
+    for state in automaton.states:
+        result.add_state(state)
+    for (p, gamma, q) in rel:
+        result.add_transition(p, gamma, q)
+    for (p, q) in eps_rel:
+        result.add_transition(p, EPSILON, q)
+    return remove_epsilon(result)

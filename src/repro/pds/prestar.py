@@ -1,0 +1,77 @@
+"""The Prestar saturation procedure (Defn. 3.6).
+
+Given a PDS ``P`` and a P-automaton ``A`` accepting a regular set of
+configurations ``C``, produces a P-automaton accepting ``pre*(C)`` — for
+an SDG-encoding PDS, the *stack-configuration slice* (the closure slice
+of the unrolled SDG).
+
+This is the efficient worklist algorithm of Esparza–Hansel–Rossmanith–
+Schwoon (2000), O(|Q|^2 |Δ|) time: transitions are added according to
+
+    Pre1:  t ∈ A                            =>  t ∈ A_pre*
+    Pre2:  <p,γ> ↪ <p',w> ∈ Δ, p' -w->* q   =>  (p,γ,q) ∈ A_pre*
+
+Push rules ``<p,γ> ↪ <p',γ'γ''>`` are matched incrementally: when a
+transition ``(p',γ',q1)`` appears, a *pending* entry ``(q1,γ'') ->
+(p,γ)`` is recorded; when ``(q1,γ'',q2)`` appears (before or after), the
+transition ``(p,γ,q2)`` is emitted.
+"""
+
+from collections import deque
+
+from repro.fsa.automaton import FiniteAutomaton
+
+
+def prestar(pds, automaton):
+    """Saturate ``automaton`` with pre* transitions; returns a new
+    :class:`FiniteAutomaton` (the input is not modified).
+
+    The input automaton must not have transitions *into* initial
+    (control-location) states, and must be epsilon-free — both hold for
+    query automata built by :mod:`repro.core.criteria`.
+    """
+    rel = set()
+    by_source_symbol = {}  # (q, γ) -> set of q2 with (q, γ, q2) ∈ rel
+    pending = {}  # (q, γ) -> list of (p, γp) waiting for (q, γ, ·)
+    trans = deque()
+
+    for triple in automaton.transitions():
+        trans.append(triple)
+    for rule in pds.pop_rules:
+        # <p,γ> ↪ <p',ε>:  p' -ε->* p'  =>  (p, γ, p')
+        trans.append((rule.p, rule.gamma, rule.p2))
+
+    while trans:
+        q, gamma, q1 = trans.popleft()
+        if (q, gamma, q1) in rel:
+            continue
+        rel.add((q, gamma, q1))
+        by_source_symbol.setdefault((q, gamma), set()).add(q1)
+
+        # Internal rules <p,γp> ↪ <q,γ>: new transition (p, γp, q1).
+        for rule in pds.internal_by_rhs.get((q, gamma), ()):
+            trans.append((rule.p, rule.gamma, q1))
+
+        # Push rules <p,γp> ↪ <q, γ γ2>: need q1 -γ2-> q2.
+        for rule in pds.push_by_rhs_head.get((q, gamma), ()):
+            gamma2 = rule.w[1]
+            pending.setdefault((q1, gamma2), []).append((rule.p, rule.gamma))
+            for q2 in by_source_symbol.get((q1, gamma2), ()):
+                trans.append((rule.p, rule.gamma, q2))
+
+        # This transition may complete earlier partial push matches.
+        for (p, gamma_p) in pending.get((q, gamma), ()):
+            trans.append((p, gamma_p, q1))
+
+    result = FiniteAutomaton()
+    for state in pds.control_locations:
+        result.add_initial(state)
+    for state in automaton.initials:
+        result.add_initial(state)
+    for state in automaton.finals:
+        result.add_final(state)
+    for state in automaton.states:
+        result.add_state(state)
+    for (q, gamma, q1) in rel:
+        result.add_transition(q, gamma, q1)
+    return result

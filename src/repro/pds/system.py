@@ -1,0 +1,97 @@
+"""Pushdown-system data structures (Defn. 3.1).
+
+A rule ``<p, γ> ↪ <p', w>`` with ``|w| ≤ 2`` is a *pop* rule (``w = ε``),
+an *internal* rule (``|w| = 1``), or a *push* rule (``|w| = 2``).
+"""
+
+
+class Rule(object):
+    """One PDS rule ``<p, gamma> -> <p2, w>`` with ``w`` a tuple of 0-2
+    stack symbols."""
+
+    __slots__ = ("p", "gamma", "p2", "w")
+
+    def __init__(self, p, gamma, p2, w):
+        w = tuple(w)
+        if len(w) > 2:
+            raise ValueError("PDS rules are restricted to |w| <= 2")
+        self.p = p
+        self.gamma = gamma
+        self.p2 = p2
+        self.w = w
+
+    @property
+    def kind(self):
+        return ("pop", "internal", "push")[len(self.w)]
+
+    def __repr__(self):
+        return "<%r, %r> -> <%r, %r>" % (self.p, self.gamma, self.p2, self.w)
+
+    def __eq__(self, other):
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return (self.p, self.gamma, self.p2, self.w) == (
+            other.p,
+            other.gamma,
+            other.p2,
+            other.w,
+        )
+
+    def __hash__(self):
+        return hash((self.p, self.gamma, self.p2, self.w))
+
+
+class PushdownSystem(object):
+    """A PDS: control locations, stack symbols, rules, with the indexes
+    the saturation procedures need."""
+
+    def __init__(self):
+        self.control_locations = set()
+        self.stack_symbols = set()
+        self.rules = []
+        # Indexes for Prestar: match rules by their *right-hand side*.
+        self.internal_by_rhs = {}  # (p2, w0) -> [rule]
+        self.push_by_rhs_head = {}  # (p2, w0) -> [rule]
+        self.pop_rules = []
+        # Indexes for Poststar: match rules by their *left-hand side*.
+        self.by_lhs = {}  # (p, gamma) -> [rule]
+
+    def add_rule(self, p, gamma, p2, w):
+        rule = Rule(p, gamma, p2, w)
+        self.rules.append(rule)
+        self.control_locations.add(p)
+        self.control_locations.add(p2)
+        self.stack_symbols.add(gamma)
+        self.stack_symbols.update(rule.w)
+        if rule.kind == "pop":
+            self.pop_rules.append(rule)
+        elif rule.kind == "internal":
+            self.internal_by_rhs.setdefault((p2, rule.w[0]), []).append(rule)
+        else:
+            self.push_by_rhs_head.setdefault((p2, rule.w[0]), []).append(rule)
+        self.by_lhs.setdefault((p, gamma), []).append(rule)
+        return rule
+
+    def rule_count(self):
+        return len(self.rules)
+
+    def step(self, config):
+        """All one-step successors of a configuration ``(p, stack)``
+        where ``stack`` is a tuple with the top at index 0.  Used by
+        tests to cross-check saturation results against brute-force
+        reachability."""
+        p, stack = config
+        if not stack:
+            return []
+        gamma, rest = stack[0], stack[1:]
+        result = []
+        for rule in self.by_lhs.get((p, gamma), ()):
+            result.append((rule.p2, rule.w + rest))
+        return result
+
+    def __repr__(self):
+        return "PushdownSystem(%d locations, %d symbols, %d rules)" % (
+            len(self.control_locations),
+            len(self.stack_symbols),
+            len(self.rules),
+        )

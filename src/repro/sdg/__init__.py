@@ -1,0 +1,51 @@
+"""System dependence graphs (Horwitz–Reps–Binkley) for TinyC.
+
+The SDG is the input to the specialization-slicing algorithm: one
+procedure dependence graph (PDG) per procedure — entry, statement,
+predicate, call, actual-in/out and formal-in/out vertices with control
+and flow dependence edges — connected by call, parameter-in and
+parameter-out edges, plus the transitive summary edges used by the HRB
+two-phase closure-slicing algorithm.
+"""
+
+from repro.sdg.graph import (
+    CALL,
+    CONTROL,
+    FLOW,
+    LIBRARY,
+    PARAM_IN,
+    PARAM_OUT,
+    SUMMARY,
+    CallSiteInfo,
+    SystemDependenceGraph,
+    Vertex,
+    VertexKind,
+)
+from repro.sdg.sdg_builder import build_sdg
+from repro.sdg.slice_ops import (
+    backward_closure_slice,
+    backward_reach,
+    forward_closure_slice,
+    forward_reach,
+)
+from repro.sdg.summary import compute_summary_edges
+
+__all__ = [
+    "CALL",
+    "CONTROL",
+    "CallSiteInfo",
+    "FLOW",
+    "LIBRARY",
+    "PARAM_IN",
+    "PARAM_OUT",
+    "SUMMARY",
+    "SystemDependenceGraph",
+    "Vertex",
+    "VertexKind",
+    "backward_closure_slice",
+    "backward_reach",
+    "build_sdg",
+    "compute_summary_edges",
+    "forward_closure_slice",
+    "forward_reach",
+]

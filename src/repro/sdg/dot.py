@@ -1,0 +1,133 @@
+"""Graphviz (DOT) export for SDGs and automata.
+
+Reproduces the visual conventions of the paper's figures: one cluster
+per PDG (per procedure), solid edges for control/flow dependences,
+dashed edges for call/parameter-in/parameter-out edges (Fig. 3), and
+bold styling for a highlighted vertex set (e.g. a slice — the way
+Figs. 3/4 mark the closure slice).  Automata are rendered with the
+initial/final conventions of Figs. 9-11.
+
+The output is plain DOT text; no graphviz installation is required to
+produce it.
+"""
+
+from repro.sdg.graph import (
+    CALL,
+    CONTROL,
+    FLOW,
+    LIBRARY,
+    PARAM_IN,
+    PARAM_OUT,
+    SUMMARY,
+    VertexKind,
+)
+
+_SHAPES = {
+    VertexKind.ENTRY: "box",
+    VertexKind.STATEMENT: "ellipse",
+    VertexKind.PREDICATE: "diamond",
+    VertexKind.CALL: "box",
+    VertexKind.ACTUAL_IN: "ellipse",
+    VertexKind.ACTUAL_OUT: "ellipse",
+    VertexKind.FORMAL_IN: "ellipse",
+    VertexKind.FORMAL_OUT: "ellipse",
+}
+
+_DASHED = frozenset([CALL, PARAM_IN, PARAM_OUT])
+
+
+def _quote(text):
+    return '"%s"' % str(text).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def sdg_to_dot(sdg, highlight=(), include_summary=False, title="SDG"):
+    """Render ``sdg`` as DOT text.
+
+    Args:
+        sdg: a :class:`SystemDependenceGraph`.
+        highlight: vertex ids drawn bold (e.g. a slice).
+        include_summary: also draw summary edges (dotted).
+        title: graph label.
+    """
+    highlight = set(highlight)
+    lines = [
+        "digraph %s {" % _quote(title),
+        "  rankdir=TB;",
+        "  node [fontsize=10];",
+        "  label=%s;" % _quote(title),
+    ]
+    for index, proc in enumerate(sdg.procedures()):
+        lines.append("  subgraph cluster_%d {" % index)
+        lines.append("    label=%s;" % _quote(proc))
+        for vid in sdg.proc_vertices[proc]:
+            vertex = sdg.vertices[vid]
+            style = ["shape=%s" % _SHAPES.get(vertex.kind, "ellipse")]
+            if vertex.is_parameter():
+                style.append("fontsize=8")
+            if vid in highlight:
+                style.append("penwidth=2.5")
+                style.append("fontname=\"bold\"")
+            lines.append(
+                "    v%d [label=%s, %s];" % (vid, _quote(vertex.label), ", ".join(style))
+            )
+        lines.append("  }")
+
+    kinds = [CONTROL, FLOW, LIBRARY, CALL, PARAM_IN, PARAM_OUT]
+    if include_summary:
+        kinds.append(SUMMARY)
+    for (src, dst, kind) in sorted(sdg.edges(kinds)):
+        attributes = []
+        if kind in _DASHED:
+            attributes.append("style=dashed")
+        elif kind == SUMMARY:
+            attributes.append("style=dotted")
+        elif kind == FLOW:
+            attributes.append("color=gray30")
+        if src in highlight and dst in highlight:
+            attributes.append("penwidth=2.0")
+        lines.append(
+            "  v%d -> v%d%s;" % (src, dst, (" [%s]" % ", ".join(attributes)) if attributes else "")
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def automaton_to_dot(automaton, title="automaton", symbol_label=None):
+    """Render a finite automaton as DOT text (Figs. 9-11 style).
+
+    ``symbol_label`` optionally maps transition symbols to display
+    strings (e.g. SDG vertex ids to their labels)."""
+    if symbol_label is None:
+        symbol_label = str
+    names = {}
+    for index, state in enumerate(sorted(automaton.states, key=repr)):
+        names[state] = "s%d" % index
+    lines = [
+        "digraph %s {" % _quote(title),
+        "  rankdir=LR;",
+        "  label=%s;" % _quote(title),
+        '  __start [shape=point, label=""];',
+    ]
+    for state in sorted(automaton.states, key=repr):
+        shape = "doublecircle" if state in automaton.finals else "circle"
+        lines.append(
+            "  %s [shape=%s, label=%s];" % (names[state], shape, _quote(state))
+        )
+    for state in sorted(automaton.initials, key=repr):
+        if state in names:
+            lines.append("  __start -> %s;" % names[state])
+    # Group parallel transitions into one labeled edge.
+    grouped = {}
+    for (src, symbol, dst) in automaton.transitions():
+        grouped.setdefault((src, dst), []).append(
+            "ε" if symbol is None else symbol_label(symbol)
+        )
+    for (src, dst), symbols in sorted(grouped.items(), key=repr):
+        label = ", ".join(sorted(str(s) for s in symbols))
+        if len(label) > 40:
+            label = label[:37] + "..."
+        lines.append(
+            "  %s -> %s [label=%s];" % (names[src], names[dst], _quote(label))
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,492 @@
+"""Per-procedure PDG construction.
+
+For each procedure we create the paper's vertex inventory (entry,
+statements, predicates, call vertices with actual-in/out vertices,
+formal-in/out vertices), then compute dependence edges from a
+*vertex-level* CFG:
+
+* Control dependence: Ferrante–Ottenstein–Warren on the augmented CFG.
+  ``return`` and ``exit`` statements, and calls to procedures that may
+  transitively exit, are modeled as Ball–Horwitz pseudo-predicates (an
+  executable jump edge plus a non-executable fall-through edge), so the
+  statements they guard become control dependent on them — this is what
+  makes executable slices respect early termination, and it subsumes the
+  paper's §6.1 treatment of ``exit``.
+  Per the paper's convention, parameter vertices are then re-attached:
+  actual-in/out vertices are control dependent on their call vertex, and
+  formal-in/out vertices on the procedure entry.
+
+* Flow dependence: reaching definitions over the executable edges.
+  Globals and ``ref`` parameters use the value-result model: formal-in
+  vertices define the variable on entry, formal-out vertices use it at
+  the (unique) return join, and actual-out vertices strongly define the
+  caller's variable after the call.  This threads interprocedural
+  def-use chains through callees exactly as in Horwitz et al. (1990).
+
+The special name ``$ret`` carries return values from ``return``
+statements to the ``$ret`` formal-out.
+
+Termination (§6.1, generalized): the pseudo-location ``$halt`` models
+"the program was terminated here".  ``exit`` vertices weakly define
+``$halt``; every procedure that may transitively exit gets a
+``("halt",)`` formal-out using ``$halt``, and each call site on such a
+procedure gets a matching ``("halt",)`` actual-out that weakly defines
+``$halt`` in the caller and acts as the Ball–Horwitz pseudo-branch for
+the call.  A statement guarded by a conditional ``exit`` deep inside a
+callee is thus transitively (control- and flow-) dependent on that
+``exit`` — keeping executable slices faithful — while programs without
+``exit`` pay nothing.
+"""
+
+from repro.analysis.callgraph import _call_of
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.modref import INPUT
+from repro.analysis.control_dep import control_dependence
+from repro.analysis.reaching import flow_dependences
+from repro.lang import ast_nodes as A
+from repro.sdg.graph import CONTROL, FLOW, LIBRARY, VertexKind
+
+RET = "$ret"
+HALT = "$halt"
+EXIT_NODE = "$exit"
+
+
+class BuildContext(object):
+    """Shared state across per-procedure builders."""
+
+    def __init__(self, sdg, program, info, modref, call_graph):
+        self.sdg = sdg
+        self.program = program
+        self.info = info
+        self.modref = modref
+        self.call_graph = call_graph
+        self.may_exit = call_graph.may_exit()
+        self._site_counter = 0
+
+    def next_site_label(self):
+        self._site_counter += 1
+        return "C%d" % self._site_counter
+
+    def ref_in_globals(self, proc_name):
+        return sorted(
+            self.modref.ref_in_globals(proc_name, self.info.global_names)
+        )
+
+    def mod_out_globals(self, proc_name):
+        return sorted(
+            self.modref.mod_out_globals(proc_name, self.info.global_names)
+        )
+
+
+class PDGBuilder(object):
+    """Builds one procedure's PDG into the shared SDG."""
+
+    def __init__(self, context, proc):
+        self.context = context
+        self.sdg = context.sdg
+        self.info = context.info
+        self.proc = proc
+        self.name = proc.name
+        self.cfg = None
+        self.defs = {}
+        self.uses = {}
+        self.entry = None
+        self.ret_region_start = None
+
+    # -- top level ------------------------------------------------------------
+
+    def build(self):
+        sdg = self.sdg
+        self.entry = sdg.new_vertex(VertexKind.ENTRY, self.name, "enter " + self.name)
+        sdg.entry_vertex[self.name] = self.entry
+        sdg.formal_ins[self.name] = {}
+        sdg.formal_outs[self.name] = {}
+        sdg.sites_in_proc.setdefault(self.name, [])
+
+        self._create_formals()
+        self.cfg = ControlFlowGraph(self.entry, EXIT_NODE)
+        self._wire_formals_and_body()
+        self._add_control_edges()
+        self._add_flow_edges()
+
+    # -- vertex creation ----------------------------------------------------------
+
+    def _create_formals(self):
+        sdg, name = self.sdg, self.name
+        # Explicit parameters: formal-in for every declared parameter.
+        for index, param in enumerate(self.proc.params):
+            vid = sdg.new_vertex(
+                VertexKind.FORMAL_IN, name, "%s_in" % param.name, role=("param", index)
+            )
+            sdg.formal_ins[name][("param", index)] = vid
+            self.defs[vid] = {param.name}
+        # Implicit global parameters: MayRef ∪ (MayMod − MustMod).
+        for global_name in self.context.ref_in_globals(name):
+            vid = sdg.new_vertex(
+                VertexKind.FORMAL_IN, name, "%s_in" % global_name, role=("global", global_name)
+            )
+            sdg.formal_ins[name][("global", global_name)] = vid
+            self.defs[vid] = {global_name}
+        # Formal-outs: modified ref parameters, modified globals, return.
+        may_mod = self.context.modref.may_mod[name]
+        for index, param in enumerate(self.proc.params):
+            if param.kind == "ref" and param.name in may_mod:
+                vid = sdg.new_vertex(
+                    VertexKind.FORMAL_OUT, name, "%s_out" % param.name, role=("param", index)
+                )
+                sdg.formal_outs[name][("param", index)] = vid
+                self.uses[vid] = {param.name}
+        for global_name in self.context.mod_out_globals(name):
+            vid = sdg.new_vertex(
+                VertexKind.FORMAL_OUT, name, "%s_out" % global_name, role=("global", global_name)
+            )
+            sdg.formal_outs[name][("global", global_name)] = vid
+            self.uses[vid] = {global_name}
+        if self.proc.ret == "int":
+            vid = sdg.new_vertex(VertexKind.FORMAL_OUT, name, "ret_out", role=("ret",))
+            sdg.formal_outs[name][("ret",)] = vid
+            self.uses[vid] = {RET}
+        # Termination pseudo-output: present iff the procedure may exit.
+        # Must be created last so it sits at the very end of the
+        # formal-out chain (exit paths jump straight to it, bypassing the
+        # value copy-backs that never happen on a terminating run).
+        if name in self.context.may_exit:
+            vid = sdg.new_vertex(VertexKind.FORMAL_OUT, name, "halt_out", role=("halt",))
+            sdg.formal_outs[name][("halt",)] = vid
+            self.uses[vid] = {HALT}
+
+    # -- CFG wiring ---------------------------------------------------------------
+
+    def _wire_formals_and_body(self):
+        cfg = self.cfg
+        # Formal-out chain defines the return join region.
+        formal_outs = list(self.sdg.formal_outs[self.name].values())
+        if formal_outs:
+            self.ret_region_start = formal_outs[0]
+            for src, dst in zip(formal_outs, formal_outs[1:]):
+                cfg.add_edge(src, dst)
+            cfg.add_edge(formal_outs[-1], EXIT_NODE)
+        else:
+            self.ret_region_start = EXIT_NODE
+
+        # entry -> formal-ins -> body.
+        chain = [self.entry] + list(self.sdg.formal_ins[self.name].values())
+        for src, dst in zip(chain, chain[1:]):
+            cfg.add_edge(src, dst)
+        # FOW augmentation: entry is a pseudo-branch to exit so top-level
+        # statements become control dependent on it.
+        cfg.add_edge(self.entry, EXIT_NODE, fallthrough=True)
+
+        dangling = [(chain[-1], False)]
+        dangling = self._wire_block(self.proc.body, dangling)
+        for node, fall in dangling:
+            cfg.add_edge(node, self.ret_region_start, fallthrough=fall)
+
+    def _connect(self, dangling, node):
+        for src, fall in dangling:
+            self.cfg.add_edge(src, node, fallthrough=fall)
+
+    def _wire_block(self, block, dangling):
+        for stmt in block.stmts:
+            dangling = self._wire_stmt(stmt, dangling)
+        return dangling
+
+    def _wire_stmt(self, stmt, dangling):
+        sdg, name = self.sdg, self.name
+        call, captures, target = _call_of(stmt)
+
+        if call is not None:
+            return self._wire_call(stmt, call, captures, target, dangling)
+
+        if isinstance(stmt, (A.Assign, A.LocalDecl)):
+            vid = sdg.new_vertex(
+                VertexKind.STATEMENT, name, _stmt_label(stmt), stmt_uid=stmt.uid
+            )
+            sdg.vertex_of_stmt[stmt.uid] = vid
+            self._connect(dangling, vid)
+            expr = stmt.expr if isinstance(stmt, A.Assign) else stmt.init
+            self.defs[vid] = {stmt.name}
+            if isinstance(expr, A.InputExpr):
+                # input() reads and advances the input stream.
+                self.defs[vid] = {stmt.name, INPUT}
+                self.uses[vid] = {INPUT}
+            elif expr is not None:
+                self.uses[vid] = A.expr_vars(expr)
+            return [(vid, False)]
+
+        if isinstance(stmt, A.If):
+            vid = sdg.new_vertex(
+                VertexKind.PREDICATE, name, "if " + _expr_label(stmt.cond), stmt_uid=stmt.uid
+            )
+            sdg.vertex_of_stmt[stmt.uid] = vid
+            self._connect(dangling, vid)
+            self.uses[vid] = A.expr_vars(stmt.cond)
+            then_ends = self._wire_block(stmt.then, [(vid, False)])
+            if stmt.els is not None:
+                else_ends = self._wire_block(stmt.els, [(vid, False)])
+            else:
+                else_ends = [(vid, False)]
+            return then_ends + else_ends
+
+        if isinstance(stmt, A.While):
+            vid = sdg.new_vertex(
+                VertexKind.PREDICATE, name, "while " + _expr_label(stmt.cond), stmt_uid=stmt.uid
+            )
+            sdg.vertex_of_stmt[stmt.uid] = vid
+            self._connect(dangling, vid)
+            self.uses[vid] = A.expr_vars(stmt.cond)
+            body_ends = self._wire_block(stmt.body, [(vid, False)])
+            self._connect(body_ends, vid)
+            return [(vid, False)]
+
+        if isinstance(stmt, A.Return):
+            vid = sdg.new_vertex(
+                VertexKind.STATEMENT, name, _stmt_label(stmt), stmt_uid=stmt.uid
+            )
+            sdg.vertex_of_stmt[stmt.uid] = vid
+            self._connect(dangling, vid)
+            if stmt.expr is not None:
+                self.defs[vid] = {RET}
+                self.uses[vid] = A.expr_vars(stmt.expr)
+            # Jump edge to the return join; Ball–Horwitz fall-through.
+            self.cfg.add_edge(vid, self.ret_region_start)
+            return [(vid, True)]
+
+        if isinstance(stmt, A.Print):
+            return self._wire_library_call(
+                stmt, "call print", stmt.args, dangling, exits=False
+            )
+
+        if isinstance(stmt, A.ExitStmt):
+            args = [stmt.arg] if stmt.arg is not None else []
+            return self._wire_library_call(stmt, "call exit", args, dangling, exits=True)
+
+        raise AssertionError("unknown statement %r" % stmt)
+
+    def _wire_library_call(self, stmt, label, args, dangling, exits):
+        """print/exit: a call vertex plus actual-in vertices with the
+        §6.1 library edges (actual -> call)."""
+        sdg, name = self.sdg, self.name
+        call_vid = sdg.new_vertex(VertexKind.CALL, name, label, stmt_uid=stmt.uid)
+        sdg.vertex_of_stmt[stmt.uid] = call_vid
+        previous = dangling
+        actual_vids = []
+        for index, arg in enumerate(args):
+            vid = sdg.new_vertex(
+                VertexKind.ACTUAL_IN,
+                name,
+                _expr_label(arg),
+                stmt_uid=stmt.uid,
+                role=("param", index),
+            )
+            self.uses[vid] = A.expr_vars(arg)
+            self._connect(previous, vid)
+            previous = [(vid, False)]
+            actual_vids.append(vid)
+        self._connect(previous, call_vid)
+        for vid in actual_vids:
+            sdg.add_edge(vid, call_vid, LIBRARY)
+            sdg.add_edge(call_vid, vid, CONTROL)
+        if exits:
+            # The exit vertex weakly defines $halt and jumps straight to
+            # the halt formal-out (bypassing value copy-backs, which a
+            # terminating run never performs); the Ball–Horwitz
+            # fall-through makes following statements control dependent
+            # on it.
+            self.defs[call_vid] = {HALT}
+            halt_fo = self.sdg.formal_outs[name].get(("halt",))
+            self.cfg.add_edge(call_vid, halt_fo if halt_fo is not None else EXIT_NODE)
+            return [(call_vid, True)]
+        return [(call_vid, False)]
+
+    def _wire_call(self, stmt, call, captures, target, dangling):
+        """A direct call: actual-ins -> call vertex -> actual-outs."""
+        sdg, name, context = self.sdg, self.name, self.context
+        callee = call.callee
+        callee_proc = self.info.procs[callee].proc
+        label = context.next_site_label()
+
+        call_vid = sdg.new_vertex(
+            VertexKind.CALL,
+            name,
+            "call %s" % callee,
+            stmt_uid=stmt.uid,
+            site_label=label,
+        )
+        sdg.vertex_of_stmt[stmt.uid] = call_vid
+
+        from repro.sdg.graph import CallSiteInfo
+
+        site = CallSiteInfo(label, name, callee, call_vid, stmt.uid)
+        sdg.call_sites[label] = site
+        sdg.sites_in_proc.setdefault(name, []).append(label)
+        sdg.sites_on_proc.setdefault(callee, []).append(label)
+
+        previous = dangling
+        # Actual-ins: explicit arguments, then implicit globals.
+        for index, (arg, param) in enumerate(zip(call.args, callee_proc.params)):
+            vid = sdg.new_vertex(
+                VertexKind.ACTUAL_IN,
+                name,
+                _expr_label(arg),
+                stmt_uid=stmt.uid,
+                site_label=label,
+                role=("param", index),
+            )
+            site.actual_ins[("param", index)] = vid
+            self.uses[vid] = A.expr_vars(arg)
+            self._connect(previous, vid)
+            previous = [(vid, False)]
+        for global_name in context.ref_in_globals(callee):
+            vid = sdg.new_vertex(
+                VertexKind.ACTUAL_IN,
+                name,
+                "%s_in" % global_name,
+                stmt_uid=stmt.uid,
+                site_label=label,
+                role=("global", global_name),
+            )
+            site.actual_ins[("global", global_name)] = vid
+            self.uses[vid] = {global_name}
+            self._connect(previous, vid)
+            previous = [(vid, False)]
+
+        self._connect(previous, call_vid)
+        previous = [(call_vid, False)]
+
+        # Actual-outs: modified ref params, modified globals, return.
+        may_mod = context.modref.may_mod[callee]
+        for index, (arg, param) in enumerate(zip(call.args, callee_proc.params)):
+            if param.kind == "ref" and param.name in may_mod:
+                vid = sdg.new_vertex(
+                    VertexKind.ACTUAL_OUT,
+                    name,
+                    "%s_out" % arg.name,
+                    stmt_uid=stmt.uid,
+                    site_label=label,
+                    role=("param", index),
+                )
+                site.actual_outs[("param", index)] = vid
+                self.defs[vid] = {arg.name}
+                self._connect(previous, vid)
+                previous = [(vid, False)]
+        for global_name in context.mod_out_globals(callee):
+            vid = sdg.new_vertex(
+                VertexKind.ACTUAL_OUT,
+                name,
+                "%s_out" % global_name,
+                stmt_uid=stmt.uid,
+                site_label=label,
+                role=("global", global_name),
+            )
+            site.actual_outs[("global", global_name)] = vid
+            self.defs[vid] = {global_name}
+            self._connect(previous, vid)
+            previous = [(vid, False)]
+        if captures:
+            vid = sdg.new_vertex(
+                VertexKind.ACTUAL_OUT,
+                name,
+                "%s = %s$ret" % (target, callee),
+                stmt_uid=stmt.uid,
+                site_label=label,
+                role=("ret",),
+            )
+            site.actual_outs[("ret",)] = vid
+            self.defs[vid] = {target}
+            self._connect(previous, vid)
+            previous = [(vid, False)]
+
+        if callee in context.may_exit:
+            # The callee may terminate the program.  The halt actual-out
+            # weakly defines $halt in the caller and is the Ball–Horwitz
+            # pseudo-branch: following statements become control
+            # dependent on it, and through the param-out edge from the
+            # callee's halt formal-out, transitively data dependent on
+            # the exit() that could fire (§6.1, interprocedural).
+            vid = sdg.new_vertex(
+                VertexKind.ACTUAL_OUT,
+                name,
+                "halt_out",
+                stmt_uid=stmt.uid,
+                site_label=label,
+                role=("halt",),
+            )
+            site.actual_outs[("halt",)] = vid
+            self.defs[vid] = {HALT}
+            self._connect(previous, vid)
+            previous = [(vid, False)]
+            halt_fo = sdg.formal_outs[name].get(("halt",))
+            self.cfg.add_edge(vid, halt_fo if halt_fo is not None else EXIT_NODE)
+
+        # Control dependence of parameter vertices on the call vertex.
+        for vid in list(site.actual_ins.values()) + list(site.actual_outs.values()):
+            sdg.add_edge(call_vid, vid, CONTROL)
+
+        return previous
+
+    # -- dependence edges -------------------------------------------------------------
+
+    def _add_control_edges(self):
+        sdg = self.sdg
+        skip_targets = set()
+        halt_controllers = set()
+        for vid in sdg.proc_vertices[self.name]:
+            vertex = sdg.vertices[vid]
+            if vertex.kind in (
+                VertexKind.ACTUAL_IN,
+                VertexKind.ACTUAL_OUT,
+                VertexKind.FORMAL_IN,
+                VertexKind.FORMAL_OUT,
+            ):
+                skip_targets.add(vid)
+                if vertex.role == ("halt",) and vertex.kind == VertexKind.ACTUAL_OUT:
+                    # Halt actual-outs are pseudo-branches and *can*
+                    # control other vertices.
+                    halt_controllers.add(vid)
+
+        for controller, dependent in control_dependence(self.cfg):
+            if controller == EXIT_NODE or dependent == EXIT_NODE:
+                continue
+            if dependent in skip_targets or dependent == self.entry:
+                continue
+            if controller in skip_targets and controller not in halt_controllers:
+                continue
+            sdg.add_edge(controller, dependent, CONTROL)
+
+        # Paper convention: formal vertices hang off the entry vertex.
+        for vid in list(sdg.formal_ins[self.name].values()) + list(
+            sdg.formal_outs[self.name].values()
+        ):
+            sdg.add_edge(self.entry, vid, CONTROL)
+
+    def _add_flow_edges(self):
+        # $halt definitions are weak: "the program may have been
+        # terminated here" never cancels an earlier possible termination.
+        must_defs = {
+            node: variables - {HALT} for node, variables in self.defs.items()
+        }
+        for src, dst, _var in flow_dependences(self.cfg, self.defs, self.uses, must_defs):
+            if src == EXIT_NODE or dst == EXIT_NODE:
+                continue
+            self.sdg.add_edge(src, dst, FLOW)
+
+
+def _expr_label(expr):
+    from repro.lang.pretty import _expr as render
+
+    return render(expr)
+
+
+def _stmt_label(stmt):
+    if isinstance(stmt, A.Assign):
+        return "%s = %s" % (stmt.name, _expr_label(stmt.expr))
+    if isinstance(stmt, A.LocalDecl):
+        if stmt.init is not None:
+            return "int %s = %s" % (stmt.name, _expr_label(stmt.init))
+        return "int %s" % stmt.name
+    if isinstance(stmt, A.Return):
+        if stmt.expr is not None:
+            return "return %s" % _expr_label(stmt.expr)
+        return "return"
+    return type(stmt).__name__

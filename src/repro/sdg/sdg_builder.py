@@ -1,0 +1,59 @@
+"""Whole-program SDG construction.
+
+Pipeline: semantic info -> call graph -> mod/ref -> one PDG per
+procedure -> interprocedural edges (call, parameter-in, parameter-out)
+-> optional summary edges.
+
+Programs containing indirect calls must be lowered first
+(:func:`repro.core.funcptr.lower_indirect_calls`); the builder rejects
+them otherwise.
+"""
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.modref import compute_modref
+from repro.sdg.graph import CALL, PARAM_IN, PARAM_OUT, SystemDependenceGraph
+from repro.sdg.pdg_builder import BuildContext, PDGBuilder
+from repro.sdg.summary import compute_summary_edges
+
+
+def build_sdg(program, info, with_summary=True):
+    """Build the SDG of a semantically checked program.
+
+    Args:
+        program: the checked AST.
+        info: the :class:`~repro.lang.sema.ProgramInfo` from ``check``.
+        with_summary: also compute summary edges (needed by the HRB
+            closure-slicing baseline; harmless otherwise).
+
+    Returns:
+        a :class:`SystemDependenceGraph`.
+    """
+    call_graph = build_call_graph(program)
+    modref = compute_modref(program, info, call_graph)
+    sdg = SystemDependenceGraph(program, info)
+    sdg.call_graph = call_graph
+    sdg.modref = modref
+
+    context = BuildContext(sdg, program, info, modref, call_graph)
+    for proc in program.procs:
+        PDGBuilder(context, proc).build()
+
+    _connect_pdgs(sdg)
+    if with_summary:
+        compute_summary_edges(sdg)
+    return sdg
+
+
+def _connect_pdgs(sdg):
+    """Add call, parameter-in and parameter-out edges."""
+    for site in sdg.call_sites.values():
+        callee = site.callee
+        sdg.add_edge(site.call_vertex, sdg.entry_vertex[callee], CALL)
+        for role, ai in site.actual_ins.items():
+            fi = sdg.formal_ins[callee].get(role)
+            if fi is not None:
+                sdg.add_edge(ai, fi, PARAM_IN)
+        for role, fo in sdg.formal_outs[callee].items():
+            ao = site.actual_outs.get(role)
+            if ao is not None:
+                sdg.add_edge(fo, ao, PARAM_OUT)

@@ -1,0 +1,90 @@
+"""Closure slicing on SDGs.
+
+* :func:`backward_closure_slice` / :func:`forward_closure_slice` — the
+  context-sensitive two-phase algorithm of Horwitz–Reps–Binkley (1990),
+  which requires summary edges.
+* :func:`backward_reach` / :func:`forward_reach` — plain context-
+  insensitive graph reachability, used by the Weiser-style baseline.
+
+Phase conventions for the backward slice from criterion ``C``:
+
+* Phase 1 ascends: traverse control, flow, library, summary, call and
+  parameter-in edges backwards (never parameter-out), marking everything
+  in procedures that (transitively) call the criterion's procedure.
+* Phase 2 descends: from all phase-1 vertices, traverse control, flow,
+  library, summary and parameter-out edges backwards (never call or
+  parameter-in).
+
+The forward slice is the mirror image.
+"""
+
+from collections import deque
+
+from repro.sdg.graph import CALL, CONTROL, FLOW, LIBRARY, PARAM_IN, PARAM_OUT, SUMMARY
+
+_BACK_PHASE1 = frozenset([CONTROL, FLOW, LIBRARY, SUMMARY, CALL, PARAM_IN])
+_BACK_PHASE2 = frozenset([CONTROL, FLOW, LIBRARY, SUMMARY, PARAM_OUT])
+_FWD_PHASE1 = frozenset([CONTROL, FLOW, LIBRARY, SUMMARY, PARAM_OUT])
+_FWD_PHASE2 = frozenset([CONTROL, FLOW, LIBRARY, SUMMARY, CALL, PARAM_IN])
+
+
+def _closure(sdg, criterion, phase1_kinds, phase2_kinds, backward):
+    step = sdg.predecessors if backward else sdg.successors
+    visited = set(criterion)
+    worklist = deque(visited)
+    while worklist:
+        vid = worklist.popleft()
+        for nxt in step(vid, phase1_kinds):
+            if nxt not in visited:
+                visited.add(nxt)
+                worklist.append(nxt)
+    phase2 = set(visited)
+    worklist = deque(visited)
+    while worklist:
+        vid = worklist.popleft()
+        for nxt in step(vid, phase2_kinds):
+            if nxt not in phase2:
+                phase2.add(nxt)
+                worklist.append(nxt)
+    return phase2
+
+
+def backward_closure_slice(sdg, criterion):
+    """Context-sensitive backward closure slice (HRB two-phase)."""
+    return _closure(sdg, criterion, _BACK_PHASE1, _BACK_PHASE2, backward=True)
+
+
+def forward_closure_slice(sdg, criterion):
+    """Context-sensitive forward closure slice (HRB two-phase)."""
+    return _closure(sdg, criterion, _FWD_PHASE1, _FWD_PHASE2, backward=False)
+
+
+def backward_reach(sdg, criterion, kinds=None):
+    """Context-insensitive backward reachability over all edge kinds
+    except summaries (Weiser-style baseline)."""
+    if kinds is None:
+        kinds = frozenset([CONTROL, FLOW, LIBRARY, CALL, PARAM_IN, PARAM_OUT])
+    visited = set(criterion)
+    worklist = deque(visited)
+    while worklist:
+        vid = worklist.popleft()
+        for nxt in sdg.predecessors(vid, kinds):
+            if nxt not in visited:
+                visited.add(nxt)
+                worklist.append(nxt)
+    return visited
+
+
+def forward_reach(sdg, criterion, kinds=None):
+    """Context-insensitive forward reachability (all edges but summary)."""
+    if kinds is None:
+        kinds = frozenset([CONTROL, FLOW, LIBRARY, CALL, PARAM_IN, PARAM_OUT])
+    visited = set(criterion)
+    worklist = deque(visited)
+    while worklist:
+        vid = worklist.popleft()
+        for nxt in sdg.successors(vid, kinds):
+            if nxt not in visited:
+                visited.add(nxt)
+                worklist.append(nxt)
+    return visited

@@ -1,0 +1,67 @@
+"""Summary-edge computation.
+
+A summary edge runs from an actual-in vertex to an actual-out vertex of
+the same call site when the value passed in may transitively affect the
+value coming out — i.e., when there is a same-level realizable path from
+the corresponding formal-in to the corresponding formal-out of the
+callee.  They let the HRB two-phase slicer step *across* call sites
+without descending.
+
+This is the worklist algorithm of Horwitz–Reps–Binkley (1990), as
+streamlined by Reps–Horwitz–Sagiv–Rosay (1994): path edges ``(fo, v)``
+record "v reaches formal-out fo along a same-level path"; discovering
+``(fo, fi)`` for a formal-in installs summary edges at every call site
+on the procedure, which can in turn extend path edges in the callers.
+Path edges never leave a single PDG: caller propagation happens only via
+installed summary edges.
+
+The specialization-slicing algorithm itself does not need summary edges
+(the PDS encoding plays their role); they exist for the closure-slicing
+baseline that both the paper's §8 experiments and ours compare against.
+"""
+
+from collections import deque
+
+from repro.sdg.graph import CONTROL, FLOW, LIBRARY, SUMMARY, VertexKind
+
+
+def compute_summary_edges(sdg):
+    """Add SUMMARY edges to ``sdg``; returns the number added."""
+    path_edge = set()  # (fo, v): v reaches fo along a same-level path
+    worklist = deque()
+    # Reverse index: actual-out vid -> path edges ending there, to extend
+    # caller path edges when a summary edge appears late.
+    edges_at = {}
+
+    def add(fo, v):
+        if (fo, v) not in path_edge:
+            path_edge.add((fo, v))
+            edges_at.setdefault(v, []).append(fo)
+            worklist.append((fo, v))
+
+    for proc in sdg.procedures():
+        for fo in sdg.formal_outs.get(proc, {}).values():
+            add(fo, fo)
+
+    added = 0
+    intra = (CONTROL, FLOW, SUMMARY, LIBRARY)
+    while worklist:
+        fo, v = worklist.popleft()
+        vertex = sdg.vertices[v]
+        for src in sdg.predecessors(v, intra):
+            add(fo, src)
+        if vertex.kind == VertexKind.FORMAL_IN:
+            in_role = vertex.role
+            out_role = sdg.vertices[fo].role
+            callee = vertex.proc
+            for label in sdg.sites_on_proc.get(callee, ()):
+                site = sdg.call_sites[label]
+                ai = site.actual_ins.get(in_role)
+                ao = site.actual_outs.get(out_role)
+                if ai is None or ao is None:
+                    continue
+                if sdg.add_edge(ai, ao, SUMMARY):
+                    added += 1
+                    for fo2 in edges_at.get(ao, ()):
+                        add(fo2, ai)
+    return added

@@ -1,0 +1,51 @@
+"""Workloads: the paper's example programs and experiment subjects.
+
+* :mod:`repro.workloads.paper_figures` — TinyC ports of Figs. 1, 2, 14,
+  15, 16 and the §1 flawed-method example.
+* :mod:`repro.workloads.exponential` — the Fig. 13 family ``P_k`` with
+  ``2^k`` specializations.
+* :mod:`repro.workloads.wc` — a word-count utility for the §5 speedup
+  experiment.
+* :mod:`repro.workloads.generator` — a seeded random TinyC program
+  generator (terminating by construction).
+* :mod:`repro.workloads.suite` — the Fig. 17 benchmark suite: synthetic
+  stand-ins sized after the paper's test programs.
+"""
+
+from repro.workloads.exponential import exponential_program
+from repro.workloads.generator import GenConfig, generate_program
+from repro.workloads.paper_figures import (
+    FIG1_SOURCE,
+    FIG2_SOURCE,
+    FIG15_SOURCE,
+    FIG16_SOURCE,
+    FLAWED_SOURCE,
+    load_fig1,
+    load_fig2,
+    load_fig15,
+    load_fig16,
+    load_flawed_example,
+)
+from repro.workloads.suite import SUITE, SuiteProgram, load_suite
+from repro.workloads.wc import WC_SOURCE, load_wc
+
+__all__ = [
+    "FIG1_SOURCE",
+    "FIG2_SOURCE",
+    "FIG15_SOURCE",
+    "FIG16_SOURCE",
+    "FLAWED_SOURCE",
+    "GenConfig",
+    "SUITE",
+    "SuiteProgram",
+    "WC_SOURCE",
+    "exponential_program",
+    "generate_program",
+    "load_fig1",
+    "load_fig2",
+    "load_fig15",
+    "load_fig16",
+    "load_flawed_example",
+    "load_suite",
+    "load_wc",
+]

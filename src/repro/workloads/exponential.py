@@ -1,0 +1,69 @@
+"""The Fig. 13 exponential family.
+
+``P_k`` has ``k`` recursive call sites; after the call at the i-th site,
+temporary ``t_i`` is zeroed while every other temporary receives the
+corresponding global — breaking exactly one dependence per site.  The
+broken-dependence patterns of different recursion levels interact, so
+the slice from the final print generates a specialized version of
+``Pk`` for every subset of ``{g1..gk}``: ``2^k`` versions (§4.3).
+"""
+
+from repro.lang import check, parse
+from repro.sdg import build_sdg
+
+
+def exponential_source(k):
+    """The TinyC source of the family's k-th member."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    lines = []
+    for i in range(1, k + 1):
+        lines.append("int g%d;" % i)
+    lines.append("")
+    lines.append("void Pk(int m) {")
+    lines.append("  int v;")
+    for i in range(1, k + 1):
+        lines.append("  int t%d;" % i)
+    lines.append("  if (m == 0) {")
+    lines.append("    return;")
+    lines.append("  }")
+    lines.append("  v = input();")
+    if k == 1:
+        lines.append("  Pk(m - 1);")
+        lines.append("  t1 = 0;")
+    else:
+        for branch in range(1, k + 1):
+            if branch == 1:
+                lines.append("  if (v == 1) {")
+            elif branch < k:
+                lines.append("  } else if (v == %d) {" % branch)
+            else:
+                lines.append("  } else {")
+            lines.append("    Pk(m - 1);")
+            for i in range(1, k + 1):
+                if i == branch:
+                    lines.append("    t%d = 0;" % i)
+                else:
+                    lines.append("    t%d = g%d;" % (i, i))
+        lines.append("  }")
+    for i in range(1, k + 1):
+        lines.append("  g%d = t%d;" % (i, i))
+    lines.append("}")
+    lines.append("")
+    lines.append("int main() {")
+    for i in range(1, k + 1):
+        lines.append("  g%d = %d;" % (i, i))
+    lines.append("  Pk(%d);" % k)
+    total = " + ".join("g%d" % i for i in range(1, k + 1))
+    lines.append('  print("%%d\\n", %s);' % total)
+    lines.append("  return 0;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def exponential_program(k):
+    """Parse and build: returns ``(program, info, sdg)``."""
+    program = parse(exponential_source(k))
+    info = check(program)
+    sdg = build_sdg(program, info)
+    return program, info, sdg

@@ -1,0 +1,451 @@
+"""A seeded random TinyC program generator.
+
+The §8 experiments need many realistic multi-procedure subjects; the
+paper used C programs we cannot parse, so the suite (Fig. 17 stand-ins)
+is produced here with controlled size knobs.  The generator also powers
+the property-based tests: every generated program is
+
+* semantically valid (passes ``check``), and
+* terminating by construction:
+
+  - procedure calls follow a DAG, except self-recursion guarded by
+    ``if (k > 0)`` on a decrementing counter parameter;
+  - loops iterate a fresh counter up to a small constant;
+  - counter variables (loop counters, recursion counters) are
+    *reserved*: never assigned, never passed by reference, and
+    recursion counters receive only small constants at external call
+    sites;
+  - multiplication is excluded from generated expressions so values
+    grow at most additively (no iterated-squaring blowups).
+
+Determinism: everything derives from ``GenConfig.seed``.
+"""
+
+import random
+
+from repro.lang import ast_nodes as A
+from repro.lang import check
+
+
+class GenConfig(object):
+    """Size and shape knobs for program generation."""
+
+    def __init__(
+        self,
+        seed=0,
+        n_globals=6,
+        n_procs=8,
+        stmts_low=3,
+        stmts_high=7,
+        max_depth=2,
+        max_params=3,
+        ref_param_prob=0.2,
+        recursion_prob=0.25,
+        call_prob=0.35,
+        print_prob=0.08,
+        input_prob=0.1,
+        exit_prob=0.0,
+        main_prints=3,
+        globals_per_proc=None,
+        param_coupling=0.9,
+        call_depth=5,
+        returns_prob=0.8,
+        capture_prob=0.9,
+        local_bias=0.6,
+    ):
+        self.seed = seed
+        self.n_globals = n_globals
+        self.n_procs = n_procs
+        self.stmts_low = stmts_low
+        self.stmts_high = stmts_high
+        self.max_depth = max_depth
+        self.max_params = max_params
+        self.ref_param_prob = ref_param_prob
+        self.recursion_prob = recursion_prob
+        self.call_prob = call_prob
+        self.print_prob = print_prob
+        self.input_prob = input_prob
+        self.exit_prob = exit_prob
+        self.main_prints = main_prints
+        # Maximum call-graph depth: procedures are stratified into this
+        # many levels and only call strictly lower levels.  Real call
+        # graphs are broad and shallow; an unstratified DAG over 70
+        # procedures can be 70 calls deep, compounding calling-context
+        # diversity far beyond anything the paper's C subjects exhibit.
+        self.call_depth = call_depth
+        # How many globals each procedure may touch (None = all).
+        self.globals_per_proc = globals_per_proc
+        # Return-value-centric interfaces: real helpers communicate
+        # mostly through return values their callers actually use, which
+        # keeps their relevant-output pattern uniform across contexts
+        # (the paper's 90.6% single-version procedures).  Global-heavy
+        # side-channel communication is what multiplies variants.
+        self.returns_prob = returns_prob
+        self.capture_prob = capture_prob
+        # Probability that an assignment prefers a local over a global
+        # when both are available.
+        self.local_bias = local_bias
+        # Maximum call-graph depth: procedures are stratified into this
+        # many levels and only call strictly lower levels.  Real call
+        # graphs are broad and shallow; an unstratified DAG over 70
+        # procedures can be 70 calls deep, compounding calling-context
+        # diversity far beyond anything the paper's C subjects exhibit.
+        # Probability that a parameter is coupled into the procedure's
+        # outputs.  Real procedures use nearly all their parameters for
+        # their main result (the paper found parameter mismatches in
+        # only 9.4% of sliced procedures); uncoupled parameters are what
+        # create specialization opportunities.
+        self.param_coupling = param_coupling
+
+
+class _ProcContext(object):
+    def __init__(self, name, params, returns_value, recursive, globals_view=None):
+        self.name = name
+        self.params = params  # list of A.Param
+        self.returns_value = returns_value
+        self.recursive = recursive
+        # The procedure's global "affinity set": real programs are
+        # modular — each procedure touches a small slice of the global
+        # state.  Without this, every procedure reads/writes every
+        # global and slices become combinatorially polyvariant (the
+        # Fig. 13 worst case), unlike the paper's C subjects.
+        self.globals_view = globals_view
+        self.locals = []  # names declared so far (generation order)
+        self.hoisted = []  # LocalDecl statements to prepend (nested decls)
+        self.reserved = set()  # counters: read-only for generated code
+        self.counter = 0
+        if recursive:
+            self.reserved.add(params[0].name)
+
+    def fresh_local(self):
+        self.counter += 1
+        return "v%d_%s" % (self.counter, self.name)
+
+    def fresh_loop(self):
+        self.counter += 1
+        return "i%d_%s" % (self.counter, self.name)
+
+    def _visible_globals(self, globals_):
+        if self.globals_view is None:
+            return list(globals_)
+        return list(self.globals_view)
+
+    def readable_vars(self, globals_):
+        names = self._visible_globals(globals_)
+        names.extend(param.name for param in self.params if param.kind != "fnptr")
+        names.extend(self.locals)
+        return names
+
+    def writable_vars(self, globals_):
+        names = self._visible_globals(globals_)
+        names.extend(
+            param.name for param in self.params if param.kind in ("value", "ref")
+        )
+        names.extend(self.locals)
+        return [name for name in names if name not in self.reserved]
+
+    def ref_candidates(self):
+        # No globals: the no-alias discipline forbids passing a global by
+        # reference.  Counters are reserved.
+        pool = [p.name for p in self.params if p.kind in ("value", "ref")]
+        pool.extend(self.locals)
+        return [name for name in pool if name not in self.reserved]
+
+
+class _Generator(object):
+    # No "*": iterated squaring inside loops/recursion would produce
+    # astronomically large integers.
+    _OPS = ["+", "+", "-", "-", "%", "<", "<=", ">", "==", "!="]
+
+    def __init__(self, config):
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.globals = ["g%d" % index for index in range(config.n_globals)]
+        self.procs = []  # generated A.Proc, callees first
+        self.signatures = {}  # name -> (params, returns_value)
+        self.level = {}  # proc name -> call-graph stratum
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self, ctx, depth=0):
+        rng = self.rng
+        readable = ctx.readable_vars(self.globals)
+        choice = rng.random()
+        if depth >= 2 or choice < 0.35 or not readable:
+            return A.Num(rng.randint(0, 9))
+        if choice < 0.7:
+            return A.Var(rng.choice(readable))
+        op = rng.choice(self._OPS)
+        return A.Bin(op, self._expr(ctx, depth + 1), self._expr(ctx, depth + 1))
+
+    def _condition(self, ctx):
+        op = self.rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        return A.Bin(op, self._expr(ctx, 1), self._expr(ctx, 1))
+
+    # -- statements ---------------------------------------------------------------
+
+    def _declare_local(self, ctx, name, init, depth):
+        """Create a local declaration; nested declarations are hoisted
+        to the top of the body (as plain ``int x;``) and the in-place
+        statement becomes an assignment, so no use can precede its
+        declaration at run time."""
+        ctx.locals.append(name)
+        if depth == 0:
+            return A.LocalDecl(name, init)
+        ctx.hoisted.append(A.LocalDecl(name, None))
+        if init is None:
+            init = A.Num(0)
+        return A.Assign(name, init)
+
+    def _stmt(self, ctx, depth, allow_recursion, loop_depth=0):
+        rng, config = self.rng, self.config
+        roll = rng.random()
+        writable = ctx.writable_vars(self.globals)
+
+        if roll < config.print_prob:
+            return A.Print([self._expr(ctx)], "%d\n")
+        roll -= config.print_prob
+
+        if roll < config.exit_prob:
+            return A.ExitStmt(A.Num(rng.randint(0, 3)))
+        roll -= config.exit_prob
+
+        if roll < config.input_prob and writable:
+            return A.Assign(rng.choice(writable), A.InputExpr())
+        roll -= config.input_prob
+
+        if roll < config.call_prob and loop_depth == 0:
+            # Calls are never generated inside loops: along a call DAG,
+            # loop-amplified call counts multiply into astronomically
+            # large dynamic call trees.
+            call_stmt = self._call_stmt(ctx, allow_recursion)
+            if call_stmt is not None:
+                return call_stmt
+
+        if depth < config.max_depth and rng.random() < 0.35:
+            if rng.random() < 0.5:
+                then = A.Block(self._block(ctx, depth + 1, allow_recursion, loop_depth))
+                els = None
+                if rng.random() < 0.5:
+                    els = A.Block(self._block(ctx, depth + 1, allow_recursion, loop_depth))
+                return A.If(self._condition(ctx), then, els)
+            # Bounded loop over a fresh, reserved counter.
+            counter = ctx.fresh_loop()
+            decl = self._declare_local(ctx, counter, A.Num(0), depth)
+            ctx.reserved.add(counter)
+            bound = rng.randint(1, 4)
+            body = self._block(ctx, depth + 1, allow_recursion, loop_depth + 1)
+            body.append(A.Assign(counter, A.Bin("+", A.Var(counter), A.Num(1))))
+            loop = A.While(A.Bin("<", A.Var(counter), A.Num(bound)), A.Block(body))
+            if isinstance(decl, A.Assign):
+                return [decl, loop]
+            return [decl, loop]
+
+        if rng.random() < 0.3 and depth == 0:
+            name = ctx.fresh_local()
+            return self._declare_local(ctx, name, self._expr(ctx), depth)
+        if writable:
+            locals_only = [n for n in writable if n not in self.globals]
+            if locals_only and rng.random() < config.local_bias:
+                return A.Assign(rng.choice(locals_only), self._expr(ctx))
+            return A.Assign(rng.choice(writable), self._expr(ctx))
+        return A.Print([self._expr(ctx)], "%d\n")
+
+    def _call_stmt(self, ctx, allow_recursion):
+        rng = self.rng
+        my_level = self.level.get(ctx.name, -1)
+        candidates = [
+            proc for proc in self.procs if self.level[proc.name] > my_level
+        ]
+        if allow_recursion and ctx.recursive:
+            candidates.append(None)  # marker for self-call
+        if not candidates:
+            return None
+        target = rng.choice(candidates)
+        if target is None:
+            params = ctx.params
+            args = [A.Bin("-", A.Var(params[0].name), A.Num(1))]
+            args += self._call_args(ctx, params, skip=1)
+            call = A.CallExpr(ctx.name, args)
+            returns = ctx.returns_value
+        else:
+            params, returns = self.signatures[target.name]
+            args = self._call_args(ctx, params)
+            call = A.CallExpr(target.name, args)
+        if returns and rng.random() < self.config.capture_prob:
+            writable = ctx.writable_vars(self.globals)
+            if writable:
+                return A.Assign(rng.choice(writable), call)
+        return A.CallStmt(call)
+
+    def _call_args(self, ctx, params, skip=0):
+        """Arguments for one call, honoring the no-alias rule: ref
+        arguments are pairwise-distinct non-global variables (fresh
+        locals are synthesized when the caller has none to spare)."""
+        used_refs = set()
+        args = []
+        for param in params[skip:]:
+            if param.kind == "ref":
+                pool = [n for n in ctx.ref_candidates() if n not in used_refs]
+                if pool:
+                    name = self.rng.choice(pool)
+                else:
+                    name = ctx.fresh_local()
+                    ctx.locals.append(name)
+                    ctx.hoisted.append(A.LocalDecl(name, None))
+                used_refs.add(name)
+                args.append(A.Var(name))
+            elif param.name.startswith("k_"):
+                # A recursion counter: keep the depth small.
+                args.append(A.Num(self.rng.randint(0, 3)))
+            else:
+                args.append(self._expr(ctx))
+        return args
+
+    def _block(self, ctx, depth, allow_recursion, loop_depth=0):
+        count = self.rng.randint(self.config.stmts_low, self.config.stmts_high)
+        stmts = []
+        for _ in range(count):
+            stmt = self._stmt(ctx, depth, allow_recursion, loop_depth)
+            if isinstance(stmt, list):
+                stmts.extend(stmt)
+            else:
+                stmts.append(stmt)
+        return stmts
+
+    # -- procedures -------------------------------------------------------------------
+
+    def _make_proc(self, index):
+        rng, config = self.rng, self.config
+        name = "proc%d" % index
+        self.level[name] = (index - 1) * config.call_depth // max(
+            1, config.n_procs
+        )
+        recursive = rng.random() < config.recursion_prob
+        n_params = rng.randint(1 if recursive else 0, max(1, config.max_params))
+        params = []
+        for position in range(n_params):
+            if recursive and position == 0:
+                params.append(A.Param("k_%s" % name, "value"))
+            elif rng.random() < config.ref_param_prob:
+                params.append(A.Param("r%d_%s" % (position, name), "ref"))
+            else:
+                params.append(A.Param("p%d_%s" % (position, name), "value"))
+        returns_value = rng.random() < config.returns_prob
+        view = None
+        if config.globals_per_proc is not None:
+            # Most real helpers are pure (params/return only); a
+            # minority touch a small set of globals.  Sample the
+            # affinity size from {0, 1, .., globals_per_proc} with a
+            # heavy bias toward purity.
+            cap = min(config.globals_per_proc, len(self.globals))
+            roll = rng.random()
+            if roll < 0.45:
+                size = 0
+            elif roll < 0.8:
+                size = min(1, cap)
+            else:
+                size = cap
+            view = rng.sample(self.globals, size)
+        ctx = _ProcContext(name, params, returns_value, recursive, view)
+
+        body = self._block(ctx, 0, allow_recursion=False)
+        if recursive:
+            inner = self._block(ctx, 1, allow_recursion=True)
+            if not any(_contains_self_call(stmt, name) for stmt in inner):
+                args = [A.Bin("-", A.Var(params[0].name), A.Num(1))]
+                args += self._call_args(ctx, params, skip=1)
+                inner.append(A.CallStmt(A.CallExpr(name, args)))
+            guard = A.If(
+                A.Bin(">", A.Var(params[0].name), A.Num(0)), A.Block(inner), None
+            )
+            body.append(guard)
+        # Couple most parameters into the procedure's outputs so slices
+        # that need the outputs need the parameters too (cohesion).
+        sinks = ctx.writable_vars(self.globals)
+        for param in params:
+            if param.kind == "fnptr" or param.name in ctx.reserved:
+                continue
+            if sinks and rng.random() < config.param_coupling:
+                sink = rng.choice(sinks)
+                body.append(
+                    A.Assign(sink, A.Bin("+", A.Var(sink), A.Var(param.name)))
+                )
+        if returns_value:
+            expr = self._expr(ctx)
+            coupled = [p.name for p in params if p.kind == "value"]
+            if coupled and rng.random() < config.param_coupling:
+                expr = A.Bin("+", expr, A.Var(rng.choice(coupled)))
+            body.append(A.Return(expr))
+        body = ctx.hoisted + body
+        proc = A.Proc(name, params, "int" if returns_value else "void", A.Block(body))
+        self.signatures[name] = (params, returns_value)
+        return proc
+
+    def _make_main(self):
+        rng, config = self.rng, self.config
+        ctx = _ProcContext("main", [], True, False)
+        body = []
+        for name in self.globals:
+            body.append(A.Assign(name, A.Num(rng.randint(0, 9))))
+        body.extend(self._block(ctx, 0, allow_recursion=False))
+        for proc in self.procs:
+            if rng.random() < 0.6:
+                body.append(self._direct_call(ctx, proc))
+        for _ in range(config.main_prints):
+            body.append(A.Print([A.Var(rng.choice(self.globals))], "%d\n"))
+        body.append(A.Return(A.Num(0)))
+        body = ctx.hoisted + body
+        return A.Proc("main", [], "int", A.Block(body))
+
+    def _direct_call(self, ctx, proc):
+        params, returns = self.signatures[proc.name]
+        args = self._call_args(ctx, params)
+        call = A.CallExpr(proc.name, args)
+        if returns and self.rng.random() < self.config.capture_prob:
+            return A.Assign(self.rng.choice(self.globals), call)
+        return A.CallStmt(call)
+
+    def run(self):
+        globals_ = [A.GlobalDecl(name, A.Num(0)) for name in self.globals]
+        for index in range(self.config.n_procs, 0, -1):
+            self.procs.append(self._make_proc(index))
+        main = self._make_main()
+        procs = list(reversed(self.procs)) + [main]
+        program = A.Program(globals_, procs)
+        info = check(program)
+        return program, info
+
+
+def _contains_self_call(stmt, name):
+    for inner in _walk([stmt]):
+        for expr in A.stmt_exprs(inner):
+            for sub in A.walk_exprs(expr):
+                if isinstance(sub, A.CallExpr) and sub.callee == name:
+                    return True
+    return False
+
+
+def _walk(stmts):
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, A.If):
+            for inner in _walk(stmt.then.stmts):
+                yield inner
+            if stmt.els is not None:
+                for inner in _walk(stmt.els.stmts):
+                    yield inner
+        elif isinstance(stmt, A.While):
+            for inner in _walk(stmt.body.stmts):
+                yield inner
+
+
+def generate_program(config=None, **kwargs):
+    """Generate a random valid TinyC program.
+
+    Returns ``(program, info)``.  Accepts either a :class:`GenConfig` or
+    keyword arguments for one.
+    """
+    if config is None:
+        config = GenConfig(**kwargs)
+    return _Generator(config).run()

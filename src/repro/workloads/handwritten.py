@@ -1,0 +1,330 @@
+"""Hand-written realistic TinyC subjects.
+
+The synthetic suite controls *scale*; these programs supply *realism*:
+idiomatic multi-procedure structure written by hand, in the spirit of
+the paper's Siemens subjects — a token classifier (print_tokens-like),
+a priority-queue scheduler simulation (schedule-like), and a streaming
+statistics calculator (tot_info-like).  All consume the 0-terminated
+``input()`` stream and report through prints, giving each several
+natural slicing criteria.
+"""
+
+from repro.lang import check, parse
+from repro.sdg import build_sdg
+
+# A token classifier: reads a 0-terminated character stream and counts
+# token classes, tracking the longest token (print_tokens-like).
+TOKENIZER_SOURCE = """
+int n_numbers;
+int n_idents;
+int n_ops;
+int n_unknown;
+int longest;
+int cur_len;
+
+int is_digit(int c) {
+  if (c >= 48) {
+    if (c <= 57) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int is_alpha(int c) {
+  if (c >= 97) {
+    if (c <= 122) {
+      return 1;
+    }
+  }
+  if (c >= 65) {
+    if (c <= 90) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int is_op(int c) {
+  if (c == 43) { return 1; }
+  if (c == 45) { return 1; }
+  if (c == 42) { return 1; }
+  if (c == 47) { return 1; }
+  if (c == 61) { return 1; }
+  return 0;
+}
+
+int is_space(int c) {
+  if (c == 32) { return 1; }
+  if (c == 10) { return 1; }
+  if (c == 9) { return 1; }
+  return 0;
+}
+
+void note_token_end() {
+  if (cur_len > longest) {
+    longest = cur_len;
+  }
+  cur_len = 0;
+}
+
+int scan_number(int c) {
+  int d = is_digit(c);
+  while (d == 1) {
+    cur_len = cur_len + 1;
+    c = input();
+    d = is_digit(c);
+  }
+  n_numbers = n_numbers + 1;
+  note_token_end();
+  return c;
+}
+
+int scan_ident(int c) {
+  int a = is_alpha(c);
+  int d = is_digit(c);
+  while (a == 1 || d == 1) {
+    cur_len = cur_len + 1;
+    c = input();
+    a = is_alpha(c);
+    d = is_digit(c);
+  }
+  n_idents = n_idents + 1;
+  note_token_end();
+  return c;
+}
+
+void classify_single(int c) {
+  int o = is_op(c);
+  if (o == 1) {
+    n_ops = n_ops + 1;
+  } else {
+    int s = is_space(c);
+    if (s == 0) {
+      n_unknown = n_unknown + 1;
+    }
+  }
+}
+
+int main() {
+  int c = input();
+  while (c != 0) {
+    int d = is_digit(c);
+    int a = is_alpha(c);
+    if (d == 1) {
+      c = scan_number(c);
+    } else {
+      if (a == 1) {
+        c = scan_ident(c);
+      } else {
+        classify_single(c);
+        c = input();
+      }
+    }
+  }
+  print("numbers %d\\n", n_numbers);
+  print("idents %d\\n", n_idents);
+  print("ops %d\\n", n_ops);
+  print("unknown %d\\n", n_unknown);
+  print("longest %d\\n", longest);
+}
+"""
+
+# A three-level priority scheduler simulation: jobs arrive with a
+# priority (1..3) from the input stream (0 ends the workload); each
+# round runs the highest-priority job, ages lower queues, and demotes
+# long-running work (schedule-like).
+SCHEDULER_SOURCE = """
+int high_q;
+int mid_q;
+int low_q;
+int completed;
+int demotions;
+int promotions;
+int idle_ticks;
+int clock;
+
+void enqueue(int priority) {
+  if (priority >= 3) {
+    high_q = high_q + 1;
+  } else {
+    if (priority == 2) {
+      mid_q = mid_q + 1;
+    } else {
+      low_q = low_q + 1;
+    }
+  }
+}
+
+int pick_queue() {
+  if (high_q > 0) { return 3; }
+  if (mid_q > 0) { return 2; }
+  if (low_q > 0) { return 1; }
+  return 0;
+}
+
+void run_one(int which) {
+  if (which == 3) {
+    high_q = high_q - 1;
+    if (clock % 3 == 0) {
+      mid_q = mid_q + 1;
+      demotions = demotions + 1;
+    } else {
+      completed = completed + 1;
+    }
+  } else {
+    if (which == 2) {
+      mid_q = mid_q - 1;
+      completed = completed + 1;
+    } else {
+      low_q = low_q - 1;
+      completed = completed + 1;
+    }
+  }
+}
+
+void age_queues() {
+  if (clock % 4 == 0) {
+    if (low_q > 0) {
+      low_q = low_q - 1;
+      mid_q = mid_q + 1;
+      promotions = promotions + 1;
+    }
+  }
+}
+
+void tick() {
+  int which = pick_queue();
+  if (which == 0) {
+    idle_ticks = idle_ticks + 1;
+  } else {
+    run_one(which);
+  }
+  age_queues();
+  clock = clock + 1;
+}
+
+int pending() {
+  return high_q + mid_q + low_q;
+}
+
+int main() {
+  int priority = input();
+  while (priority != 0) {
+    enqueue(priority);
+    tick();
+    priority = input();
+  }
+  int left = pending();
+  int guard = 0;
+  while (left > 0 && guard < 1000) {
+    tick();
+    left = pending();
+    guard = guard + 1;
+  }
+  print("completed %d\\n", completed);
+  print("demotions %d\\n", demotions);
+  print("promotions %d\\n", promotions);
+  print("idle %d\\n", idle_ticks);
+  print("clock %d\\n", clock);
+}
+"""
+
+# A streaming statistics calculator with a gcd-based ratio reducer
+# (tot_info-like: independent statistics over a table of counts).
+STATISTICS_SOURCE = """
+int count;
+int total;
+int minimum;
+int maximum;
+int positives;
+int negatives;
+int started;
+
+int gcd(int a, int b) {
+  if (a < 0) { a = 0 - a; }
+  if (b < 0) { b = 0 - b; }
+  if (b == 0) { return a; }
+  int r = a % b;
+  int result = gcd(b, r);
+  return result;
+}
+
+void note_extremes(int value) {
+  if (started == 0) {
+    minimum = value;
+    maximum = value;
+    started = 1;
+  } else {
+    if (value < minimum) { minimum = value; }
+    if (value > maximum) { maximum = value; }
+  }
+}
+
+void note_sign(int value) {
+  if (value > 0) { positives = positives + 1; }
+  if (value < 0) { negatives = negatives + 1; }
+}
+
+void consume(int value) {
+  count = count + 1;
+  total = total + value;
+  note_extremes(value);
+  note_sign(value);
+}
+
+int mean() {
+  if (count == 0) { return 0; }
+  return total / count;
+}
+
+int spread() {
+  return maximum - minimum;
+}
+
+int main() {
+  int n = input();
+  int i = 0;
+  while (i < n && i < 200) {
+    int value = input();
+    consume(value);
+    i = i + 1;
+  }
+  int m = mean();
+  int s = spread();
+  int g = gcd(positives, negatives);
+  print("count %d\\n", count);
+  print("total %d\\n", total);
+  print("mean %d\\n", m);
+  print("min %d\\n", minimum);
+  print("max %d\\n", maximum);
+  print("spread %d\\n", s);
+  print("sign-gcd %d\\n", g);
+}
+"""
+
+
+def _load(source):
+    program = parse(source)
+    info = check(program)
+    sdg = build_sdg(program, info)
+    return program, info, sdg
+
+
+def load_tokenizer():
+    return _load(TOKENIZER_SOURCE)
+
+
+def load_scheduler():
+    return _load(SCHEDULER_SOURCE)
+
+
+def load_statistics():
+    return _load(STATISTICS_SOURCE)
+
+
+HANDWRITTEN = {
+    "tokenizer": load_tokenizer,
+    "scheduler": load_scheduler,
+    "statistics": load_statistics,
+}

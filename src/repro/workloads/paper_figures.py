@@ -1,0 +1,195 @@
+"""TinyC ports of the paper's figure programs.
+
+Each ``load_*`` helper returns ``(program, info, sdg)`` ready for
+slicing, so tests and benchmarks share one parsing/SDG path.
+"""
+
+from repro.lang import check, parse
+from repro.sdg import build_sdg
+
+# Fig. 1(a) / Fig. 14(a): the running example.  The closure slice with
+# respect to the print's actuals has parameter mismatches at the first
+# and third call sites; specialization slicing splits p into two
+# versions.
+FIG1_SOURCE = """
+int g1;
+int g2;
+int g3;
+
+void p(int a, int b) {
+  g1 = a;
+  g2 = b;
+  g3 = g2;
+}
+
+int main() {
+  g2 = 100;
+  p(g2, 2);
+  p(g2, 3);
+  p(4, g1 + g2);
+  print("%d", g2);
+  return 0;
+}
+"""
+
+# Fig. 2(a): direct recursion that specializes into mutual recursion.
+FIG2_SOURCE = """
+int g1;
+int g2;
+
+void s(int a, int b) {
+  g1 = b;
+  g2 = a;
+}
+
+void r(int k) {
+  if (k > 0) {
+    s(g1, g2);
+    r(k - 1);
+    s(g1, g2);
+  }
+}
+
+int main() {
+  g1 = 1;
+  g2 = 2;
+  r(3);
+  print("%d\\n", g1);
+}
+"""
+
+# §1's flawed-method example: the assignment z = 3 is needed in p_2 but
+# dead in p_1; the flawed algorithm keeps it in both.
+FLAWED_SOURCE = """
+int g1;
+int g2;
+
+void p(int a, int b) {
+  g1 = a;
+  int z = 3;
+  g2 = b + z;
+}
+
+int main() {
+  p(11, 4);
+  p(g2, 2);
+  print("%d", g1);
+}
+"""
+
+# Fig. 15: function pointers and indirect calls (§6.2).
+FIG15_SOURCE = """
+int f(int a, int b) {
+  return a + b;
+}
+
+int g(int a, int b) {
+  return a;
+}
+
+int main() {
+  fnptr p;
+  int x;
+  int c = input();
+  if (c > 0) {
+    p = f;
+  } else {
+    p = g;
+  }
+  x = p(1, 2);
+  print("%d", x);
+}
+"""
+
+# Fig. 16(a): the sum/product tally program for feature removal (§7).
+# N is kept small enough that mult's repeated-addition loop stays within
+# test step budgets (prod grows factorially).
+FIG16_SOURCE = """
+int add(int a, int b) {
+  return a + b;
+}
+
+int mult(int a, int b) {
+  int i = 0;
+  int ans = 0;
+  while (i < a) {
+    ans = add(ans, b);
+    i = add(i, 1);
+  }
+  return ans;
+}
+
+void tally(ref int sum, ref int prod, int N) {
+  int i = 1;
+  while (i <= N) {
+    sum = add(sum, i);
+    prod = mult(prod, i);
+    i = add(i, 1);
+  }
+}
+
+int main() {
+  int sum = 0;
+  int prod = 1;
+  tally(sum, prod, 6);
+  print("%d ", sum);
+  print("%d ", prod);
+}
+"""
+
+# §6.1: a conditional exit guarding later output.
+EXIT_SOURCE = """
+int g;
+
+void check(int v) {
+  if (v < 0) {
+    exit(1);
+  }
+  g = v;
+}
+
+int main() {
+  int x = input();
+  check(x);
+  print("%d", g);
+}
+"""
+
+
+def _load(source):
+    program = parse(source)
+    info = check(program)
+    sdg = build_sdg(program, info)
+    return program, info, sdg
+
+
+def load_fig1():
+    return _load(FIG1_SOURCE)
+
+
+def load_fig2():
+    return _load(FIG2_SOURCE)
+
+
+def load_flawed_example():
+    return _load(FLAWED_SOURCE)
+
+
+def load_fig15():
+    """Fig. 15 requires function-pointer lowering before SDG
+    construction; returns ``(original, lowered, info, sdg)``."""
+    from repro.core.funcptr import lower_indirect_calls
+
+    original = parse(FIG15_SOURCE)
+    info = check(original)
+    lowered, lowered_info = lower_indirect_calls(original, info)
+    sdg = build_sdg(lowered, lowered_info)
+    return original, lowered, lowered_info, sdg
+
+
+def load_fig16():
+    return _load(FIG16_SOURCE)
+
+
+def load_exit_example():
+    return _load(EXIT_SOURCE)

@@ -1,0 +1,204 @@
+"""The Fig. 17 benchmark suite.
+
+The paper evaluates on the Siemens programs plus wc, gzip, space, flex
+and go — C sources we cannot parse (no CodeSurfer).  Each suite entry
+is instead a deterministic synthetic TinyC program whose *shape*
+(procedure count, call-site density, recursion, parameter mixes) tracks
+the paper's Fig. 17 row, scaled so that the largest subjects stay
+tractable for a pure-Python PDS engine (roughly 1/10 of the paper's PDG
+vertex counts for the big four; the small Siemens programs are near
+full scale).  ``wc`` is the hand-written port from
+:mod:`repro.workloads.wc`.
+
+Each entry also fixes the number of slices taken (the Fig. 17 "# Slices
+taken" column).  Criteria are *(PDG-vertex, call-stack)* bug-site
+configurations anchored at print statements — the style the paper used
+for the Siemens programs (Horwitz et al. 2010) — cycled over prints and
+successively deeper contexts when the paper took more slices than the
+program has prints.
+"""
+
+from repro.lang import pretty
+from repro.sdg import build_sdg
+from repro.workloads.generator import GenConfig, generate_program
+from repro.workloads.wc import load_wc
+
+
+class SuiteProgram(object):
+    """A loaded suite entry.
+
+    Attributes:
+        name: the paper's program name with a ``_like`` suffix for
+            synthetic stand-ins.
+        program, info, sdg: the loaded TinyC subject.
+        criteria: one entry per slice taken; each is a list of
+            ``(vertex, context)`` configuration pairs (contexts are
+            tuples of call-site labels, innermost first).
+        paper: dict of the Fig. 17 row for reference.
+    """
+
+    def __init__(self, name, program, info, sdg, criteria, paper):
+        self.name = name
+        self.program = program
+        self.info = info
+        self.sdg = sdg
+        self.criteria = criteria
+        self.paper = paper
+
+    def source_lines(self):
+        return len(pretty(self.program).splitlines())
+
+    def __repr__(self):
+        return "SuiteProgram(%s: %d procs, %d vertices, %d slices)" % (
+            self.name,
+            len(self.program.procs),
+            self.sdg.vertex_count(),
+            len(self.criteria),
+        )
+
+
+# (name, generator config | None for wc, slices taken, Fig. 17 row)
+_ROWS = [
+    ("tcas_like", GenConfig(seed=101, n_globals=6, n_procs=8, stmts_low=3, stmts_high=6, recursion_prob=0.08, globals_per_proc=2, main_prints=4), 37,
+     {"versions": 37, "lines": 564, "procs": 9, "vertices": 466, "call_sites": 38, "slices": 37}),
+    ("schedule2_like", GenConfig(seed=102, n_globals=8, n_procs=15, stmts_low=3, stmts_high=7, recursion_prob=0.1, globals_per_proc=2, main_prints=4), 6,
+     {"versions": 2, "lines": 717, "procs": 16, "vertices": 980, "call_sites": 47, "slices": 6}),
+    ("schedule_like", GenConfig(seed=103, n_globals=8, n_procs=17, stmts_low=3, stmts_high=6, recursion_prob=0.1, globals_per_proc=2, main_prints=4), 11,
+     {"versions": 6, "lines": 725, "procs": 18, "vertices": 873, "call_sites": 44, "slices": 11}),
+    ("print_tokens_like", GenConfig(seed=104, n_globals=9, n_procs=17, stmts_low=4, stmts_high=8, recursion_prob=0.12, globals_per_proc=2, main_prints=4), 4,
+     {"versions": 4, "lines": 889, "procs": 18, "vertices": 1298, "call_sites": 89, "slices": 4}),
+    ("replace_like", GenConfig(seed=105, n_globals=9, n_procs=20, stmts_low=4, stmts_high=8, recursion_prob=0.15, globals_per_proc=2, main_prints=5), 20,
+     {"versions": 26, "lines": 931, "procs": 21, "vertices": 1330, "call_sites": 65, "slices": 58}),
+    ("print_tokens2_like", GenConfig(seed=106, n_globals=9, n_procs=18, stmts_low=3, stmts_high=7, recursion_prob=0.12, globals_per_proc=2, main_prints=5), 15,
+     {"versions": 8, "lines": 957, "procs": 19, "vertices": 1128, "call_sites": 84, "slices": 42}),
+    ("tot_info_like", GenConfig(seed=107, n_globals=6, n_procs=6, stmts_low=5, stmts_high=9, recursion_prob=0.08, globals_per_proc=2, main_prints=4), 12,
+     {"versions": 19, "lines": 1414, "procs": 7, "vertices": 675, "call_sites": 37, "slices": 23}),
+    ("wc", None, 4,
+     {"versions": 1, "lines": 802, "procs": 11, "vertices": 1899, "call_sites": 170, "slices": 10}),
+    ("gzip_like", GenConfig(seed=108, n_globals=12, n_procs=40, stmts_low=4, stmts_high=8, recursion_prob=0.12, globals_per_proc=3, main_prints=6), 8,
+     {"versions": 4, "lines": 5314, "procs": 97, "vertices": 26419, "call_sites": 556, "slices": 26}),
+    ("space_like", GenConfig(seed=109, n_globals=12, n_procs=45, stmts_low=3, stmts_high=6, recursion_prob=0.12, globals_per_proc=3, main_prints=6), 10,
+     {"versions": 20, "lines": 7429, "procs": 136, "vertices": 18822, "call_sites": 1016, "slices": 69}),
+    ("flex_like", GenConfig(seed=110, n_globals=14, n_procs=55, stmts_low=4, stmts_high=8, recursion_prob=0.15, globals_per_proc=3, main_prints=6), 10,
+     {"versions": 5, "lines": 10425, "procs": 147, "vertices": 38436, "call_sites": 1308, "slices": 79}),
+    ("go_like", GenConfig(seed=111, n_globals=14, n_procs=70, stmts_low=5, stmts_high=9, recursion_prob=0.12, globals_per_proc=3, main_prints=8), 8,
+     {"versions": 1, "lines": 29246, "procs": 372, "vertices": 102455, "call_sites": 2084, "slices": 10}),
+]
+
+
+#: Names of all suite programs, in Fig. 17 order.
+SUITE = [row[0] for row in _ROWS]
+
+#: The small subset used by default in CI-speed benchmark runs.
+QUICK_SUITE = [
+    "tcas_like",
+    "schedule2_like",
+    "schedule_like",
+    "tot_info_like",
+    "wc",
+]
+
+_cache = {}
+
+
+def load_suite(names=None, max_slices=None):
+    """Load suite programs (cached).
+
+    Args:
+        names: iterable of suite names; default all.
+        max_slices: cap the number of slices (criteria) per program.
+
+    Returns:
+        list of :class:`SuiteProgram`.
+    """
+    if names is None:
+        names = SUITE
+    loaded = []
+    for name in names:
+        if name not in _cache:
+            _cache[name] = _load_row(name)
+        entry = _cache[name]
+        if max_slices is not None and len(entry.criteria) > max_slices:
+            entry = SuiteProgram(
+                entry.name,
+                entry.program,
+                entry.info,
+                entry.sdg,
+                entry.criteria[:max_slices],
+                entry.paper,
+            )
+        loaded.append(entry)
+    return loaded
+
+
+def _load_row(name):
+    row = next(r for r in _ROWS if r[0] == name)
+    _name, config, slices, paper = row
+    if config is None:
+        program, info, sdg = load_wc()
+    else:
+        program, info = generate_program(config)
+        sdg = build_sdg(program, info)
+    criteria = _print_criteria(sdg, slices)
+    return SuiteProgram(name, program, info, sdg, criteria, paper)
+
+
+def _print_criteria(sdg, count):
+    """One criterion per slice, in the style of the paper's experiments:
+    a *(PDG-vertex, call-stack)* configuration (Horwitz et al. 2010
+    bug-site criteria) anchored at the actual-ins of a print call, under
+    one realizable calling context.  Prints are cycled with successively
+    deeper contexts when the paper took more slices than prints exist;
+    prints in procedures unreachable from main are skipped (their slices
+    are empty by definition).
+
+    Each criterion is a list of ``(vertex, context)`` pairs; contexts
+    are tuples of call-site labels, innermost call first.
+    """
+    reachable = sdg.call_graph.reachable_from("main")
+    prints = [
+        vid
+        for vid in sdg.print_call_vertices()
+        if sdg.vertices[vid].proc in reachable
+    ]
+    chains = _context_chains(sdg)
+    criteria = []
+    index = 0
+    while len(criteria) < count and prints:
+        call_vid = prints[index % len(prints)]
+        proc = sdg.vertices[call_vid].proc
+        variant = index // len(prints)
+        context = _pick_context(chains, proc, variant)
+        actual_ins = sorted(sdg.print_criterion([call_vid]))
+        criteria.append([(vid, context) for vid in actual_ins])
+        index += 1
+    return criteria
+
+
+def _context_chains(sdg):
+    """For each procedure, a few realizable calling contexts (tuples of
+    call-site labels, innermost first), discovered by BFS over the call
+    graph from main."""
+    from collections import deque
+
+    chains = {"main": [()]}
+    queue = deque(["main"])
+    # Several passes so recursive cycles contribute deeper contexts.
+    for _round in range(3):
+        queue = deque(chains.keys())
+        while queue:
+            caller = queue.popleft()
+            for label in sdg.sites_in_proc.get(caller, ()):
+                site = sdg.call_sites[label]
+                for context in chains.get(caller, ())[:2]:
+                    extended = (label,) + context
+                    bucket = chains.setdefault(site.callee, [])
+                    if extended not in bucket and len(bucket) < 4:
+                        bucket.append(extended)
+                        queue.append(site.callee)
+    return chains
+
+
+def _pick_context(chains, proc, variant):
+    options = chains.get(proc, [()])
+    return options[variant % len(options)]

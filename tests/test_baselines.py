@@ -1,0 +1,114 @@
+"""Binkley / Weiser / flawed-method baseline tests (§1, §5, Fig. 14)."""
+
+from repro.core import (
+    binkley_slice,
+    flawed_specialization_slice,
+    monovariant_program,
+    specialization_slice,
+    weiser_slice,
+)
+from repro.lang import ast_nodes as A
+from repro.lang import pretty
+from repro.lang.interp import run_program
+from repro.workloads.paper_figures import load_fig1, load_fig2, load_flawed_example
+
+
+def test_binkley_fig14c_adds_back_g2_100():
+    program, _i, sdg = load_fig1()
+    result = binkley_slice(sdg, sdg.print_criterion())
+    added_labels = {sdg.vertices[v].label for v in result.added}
+    assert "g2 = 100" in added_labels
+    # Extra elements exist but stay within the program.
+    assert result.slice_set > result.closure
+
+
+def test_binkley_slice_is_executable_and_faithful():
+    program, _i, sdg = load_fig1()
+    result = binkley_slice(sdg, sdg.print_criterion())
+    sl = monovariant_program(sdg, result.slice_set)
+    text = pretty(sl.program)
+    # Monovariant: a single p with both parameters, untouched call sites.
+    assert "void p(int a, int b)" in text
+    assert "g2 = 100" in text
+    assert run_program(program).values == run_program(sl.program).values
+
+
+def test_binkley_no_mismatch_remains():
+    _p, _i, sdg = load_fig1()
+    result = binkley_slice(sdg, sdg.print_criterion())
+    for site in sdg.call_sites.values():
+        if site.call_vertex not in result.slice_set:
+            continue
+        for role, fi in sdg.formal_ins[site.callee].items():
+            if fi in result.slice_set:
+                ai = site.actual_ins.get(role)
+                assert ai is None or ai in result.slice_set
+
+
+def test_binkley_on_recursive_program():
+    program, _i, sdg = load_fig2()
+    result = binkley_slice(sdg, sdg.print_criterion())
+    sl = monovariant_program(sdg, result.slice_set)
+    assert run_program(program).values == run_program(sl.program).values
+
+
+def test_weiser_superset_of_binkley():
+    _p, _i, sdg = load_fig1()
+    criterion = sdg.print_criterion()
+    weiser = weiser_slice(sdg, criterion)
+    binkley = binkley_slice(sdg, criterion)
+    assert weiser.slice_set >= binkley.closure
+    assert len(weiser.slice_set) >= len(binkley.slice_set)
+
+
+def test_weiser_executable_and_faithful():
+    program, _i, sdg = load_fig1()
+    result = weiser_slice(sdg, sdg.print_criterion())
+    sl = monovariant_program(sdg, result.slice_set)
+    assert run_program(program).values == run_program(sl.program).values
+
+
+def test_weiser_whole_call_sites():
+    _p, _i, sdg = load_fig1()
+    result = weiser_slice(sdg, sdg.print_criterion())
+    for site in sdg.call_sites.values():
+        if site.call_vertex in result.slice_set:
+            for vid in site.actual_ins.values():
+                assert vid in result.slice_set
+
+
+def test_flawed_keeps_dead_assignment():
+    """§1: the flawed method retains z = 3 in the a-only variant; Alg. 1
+    does not."""
+    _p, _i, sdg = load_flawed_example()
+    criterion = sdg.print_criterion()
+    flawed = flawed_specialization_slice(sdg, criterion)
+    a_only = flawed.variant_vertices("p", {("param", 0)})
+    labels = {sdg.vertices[v].label for v in a_only}
+    assert "int z = 3" in labels
+    assert "g1 = a" in labels
+
+    optimal = specialization_slice(sdg, criterion, contexts="empty")
+    small_p = min(
+        optimal.specializations_of("p"), key=lambda s: len(s.orig_vertices)
+    )
+    optimal_labels = {sdg.vertices[v].label for v in small_p.orig_vertices}
+    assert "int z = 3" not in optimal_labels
+    assert "g1 = a" in optimal_labels
+
+
+def test_flawed_is_complete_but_larger():
+    _p, _i, sdg = load_flawed_example()
+    criterion = sdg.print_criterion()
+    flawed = flawed_specialization_slice(sdg, criterion)
+    optimal = specialization_slice(sdg, criterion, contexts="empty")
+    assert flawed.total_vertices() > optimal.sdg.vertex_count()
+
+
+def test_monovariant_sizes_ordering():
+    """closure <= binkley <= weiser on the running example."""
+    _p, _i, sdg = load_fig1()
+    criterion = sdg.print_criterion()
+    binkley = binkley_slice(sdg, criterion)
+    weiser = weiser_slice(sdg, criterion)
+    assert len(binkley.closure) <= len(binkley.slice_set) <= len(weiser.slice_set)

@@ -1,0 +1,170 @@
+"""Polyvariant binding-time analysis tests (§9) and calling-context
+slicing."""
+
+from repro.core import (
+    binding_time_analysis,
+    calling_context_slice,
+    dynamic_input_vertices,
+)
+from repro.lang import check, parse
+from repro.sdg import backward_closure_slice, build_sdg
+from repro.workloads.paper_figures import load_fig1
+
+
+def build(source):
+    program = parse(source)
+    info = check(program)
+    return program, info, build_sdg(program, info)
+
+
+def test_polyvariant_divisions():
+    """f is called with a static constant at one site and a dynamic
+    value at the other: two binding-time divisions, one per pattern."""
+    _p, _i, sdg = build(
+        """
+        int g;
+        int f(int a, int b) {
+          g = a + b;
+          return g;
+        }
+        int main() {
+          int d = input();
+          int r1 = f(1, 2);
+          int r2 = f(d, 3);
+          print("%d %d", r1, r2);
+        }
+        """
+    )
+    dynamic = dynamic_input_vertices(sdg)
+    assert dynamic
+    result = binding_time_analysis(sdg, dynamic)
+    divisions = result.divisions_of("f")
+    # Exactly one division is dynamic (the d-site); its dynamic param is
+    # position 0 (a); the static-everywhere site contributes none.
+    assert len(divisions) == 1
+    assert divisions[0].dynamic_param_roles == {("param", 0)}
+
+
+def test_both_sites_dynamic_one_division():
+    _p, _i, sdg = build(
+        """
+        int g;
+        void f(int a) { g = a; }
+        int main() {
+          int d = input();
+          f(d);
+          f(d + 1);
+          print("%d", g);
+        }
+        """
+    )
+    result = binding_time_analysis(sdg, dynamic_input_vertices(sdg))
+    divisions = result.divisions_of("f")
+    assert len(divisions) == 1
+    assert divisions[0].dynamic_param_roles == {("param", 0)}
+
+
+def test_distinct_patterns_give_distinct_divisions():
+    _p, _i, sdg = build(
+        """
+        int g;
+        void f(int a, int b) { g = a + b; }
+        int main() {
+          int d = input();
+          f(d, 1);
+          f(2, d);
+          print("%d", g);
+        }
+        """
+    )
+    result = binding_time_analysis(sdg, dynamic_input_vertices(sdg))
+    divisions = result.divisions_of("f")
+    patterns = {frozenset(d.dynamic_param_roles) for d in divisions}
+    assert patterns == {
+        frozenset({("param", 0)}),
+        frozenset({("param", 1)}),
+    }
+
+
+def test_fully_static_program_has_no_divisions():
+    _p, _i, sdg = build(
+        """
+        int g;
+        void f(int a) { g = a; }
+        int main() { f(1); print("%d", g); }
+        """
+    )
+    result = binding_time_analysis(sdg, dynamic_input_vertices(sdg))
+    assert result.division_counts() == {}
+
+
+def test_report_renders():
+    _p, _i, sdg = build(
+        """
+        int g;
+        void f(int a) { g = a; }
+        int main() { int d = input(); f(d); print("%d", g); }
+        """
+    )
+    result = binding_time_analysis(sdg, dynamic_input_vertices(sdg))
+    text = result.report()
+    assert "f:" in text
+    assert "a_in" in text
+
+
+def test_is_dynamic_anywhere():
+    _p, _i, sdg = build(
+        """
+        int g; int h;
+        int main() {
+          int d = input();
+          g = d;
+          h = 5;
+          print("%d %d", g, h);
+        }
+        """
+    )
+    result = binding_time_analysis(sdg, dynamic_input_vertices(sdg))
+    g_assign = next(v.vid for v in sdg.vertices.values() if v.label == "g = d")
+    h_assign = next(v.vid for v in sdg.vertices.values() if v.label == "h = 5")
+    assert result.is_dynamic_anywhere(g_assign)
+    assert not result.is_dynamic_anywhere(h_assign)
+
+
+# -- calling-context slicing ------------------------------------------------
+
+
+def test_calling_context_slice_restricts_to_context():
+    """Fig. 1: slicing p's b_in under C1 only must exclude main's
+    elements feeding the *other* call sites."""
+    _p, _i, sdg = load_fig1()
+    fi_b = sdg.formal_ins["p"][("param", 1)]
+    under_c1 = calling_context_slice(sdg, [fi_b], ("C1",))
+    under_c2 = calling_context_slice(sdg, [fi_b], ("C2",))
+    assert under_c1 != under_c2
+    # C1 passes the constant 2: the slice stays tiny.
+    labels_c1 = {sdg.vertices[v].label for v in under_c1}
+    assert "2" in labels_c1
+    assert "g2 = 100" not in labels_c1
+    # C2 passes the constant 3 but also needs g2's value via C1's call.
+    labels_c2 = {sdg.vertices[v].label for v in under_c2}
+    assert "3" in labels_c2
+
+
+def test_calling_context_slice_subset_of_full_slice():
+    _p, _i, sdg = load_fig1()
+    fi_b = sdg.formal_ins["p"][("param", 1)]
+    full = backward_closure_slice(sdg, [fi_b])
+    for context in (("C1",), ("C2",), ("C3",)):
+        restricted = calling_context_slice(sdg, [fi_b], context)
+        assert restricted <= full
+
+
+def test_calling_context_slice_unrealizable_context_empty():
+    _p, _i, sdg = load_fig1()
+    fi_b = sdg.formal_ins["p"][("param", 1)]
+    # C1 then C1 again is not a realizable stack in Fig. 1 — but the
+    # machinery still answers (pre* of an inconsistent configuration is
+    # just the configurations reaching it; the b_in chain itself).
+    result = calling_context_slice(sdg, [fi_b], ("C1", "C1"))
+    assert isinstance(result, set)

@@ -1,0 +1,211 @@
+"""Call-graph and mod/ref analysis unit tests."""
+
+import pytest
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.modref import INPUT, compute_modref
+from repro.lang import check, parse
+
+
+def load(source):
+    program = parse(source)
+    info = check(program)
+    return program, info, build_call_graph(program)
+
+
+def test_call_graph_basic():
+    _p, _i, graph = load(
+        """
+        void a() { b(); b(); }
+        void b() { c(); }
+        void c() {}
+        int main() { a(); }
+        """
+    )
+    assert graph.callees("a") == {"b"}
+    assert graph.callers("b") == {"a"}
+    assert len(graph.calls_from["a"]) == 2
+    assert graph.reachable_from("main") == {"main", "a", "b", "c"}
+
+
+def test_call_graph_captures():
+    _p, _i, graph = load(
+        "int f() { return 1; } int main() { int x = f(); f(); }"
+    )
+    sites = graph.calls_from["main"]
+    assert [s.captures_return for s in sites] == [True, False]
+    assert sites[0].target_var == "x"
+
+
+def test_may_exit_transitive():
+    _p, _i, graph = load(
+        """
+        void deep() { exit(1); }
+        void mid() { deep(); }
+        void clean() {}
+        int main() { mid(); clean(); }
+        """
+    )
+    assert graph.may_exit() == {"deep", "mid", "main"}
+
+
+def test_indirect_call_rejected():
+    program = parse("void f() {} int main() { fnptr p; p = f; p(); }")
+    info = check(program)
+    with pytest.raises(ValueError):
+        build_call_graph(program)
+
+
+def modref(source):
+    program, info, graph = load(source)
+    return compute_modref(program, info, graph)
+
+
+def test_direct_mod_ref():
+    result = modref(
+        "int g; int h; void f() { g = h; } int main() { f(); }"
+    )
+    assert "g" in result.may_mod["f"]
+    assert "h" in result.may_ref["f"]
+    assert "g" in result.must_mod["f"]
+
+
+def test_transitive_mod():
+    result = modref(
+        """
+        int g;
+        void leaf() { g = 1; }
+        void mid() { leaf(); }
+        int main() { mid(); }
+        """
+    )
+    assert "g" in result.may_mod["mid"]
+    assert "g" in result.may_mod["main"]
+    assert "g" in result.must_mod["mid"]
+
+
+def test_conditional_mod_not_must():
+    result = modref(
+        """
+        int g;
+        void f(int c) { if (c > 0) { g = 1; } }
+        int main() { f(3); }
+        """
+    )
+    assert "g" in result.may_mod["f"]
+    assert "g" not in result.must_mod["f"]
+
+
+def test_both_branches_is_must():
+    result = modref(
+        """
+        int g;
+        void f(int c) { if (c > 0) { g = 1; } else { g = 2; } }
+        int main() { f(3); }
+        """
+    )
+    assert "g" in result.must_mod["f"]
+
+
+def test_early_return_breaks_must():
+    result = modref(
+        """
+        int g;
+        void f(int c) {
+          if (c > 0) { return; }
+          g = 1;
+        }
+        int main() { f(3); }
+        """
+    )
+    assert "g" in result.may_mod["f"]
+    assert "g" not in result.must_mod["f"]
+
+
+def test_ref_param_effects():
+    result = modref(
+        """
+        void f(ref int x) { x = 1; }
+        int main() { int v; f(v); }
+        """
+    )
+    assert "x" in result.may_mod["f"]
+    assert "x" in result.must_mod["f"]
+
+
+def test_ref_param_translated_to_caller_ref_param():
+    result = modref(
+        """
+        void inner(ref int x) { x = 1; }
+        void outer(ref int y) { inner(y); }
+        int main() { int v; outer(v); }
+        """
+    )
+    assert "y" in result.may_mod["outer"]
+
+
+def test_ref_param_to_local_stays_internal():
+    result = modref(
+        """
+        void inner(ref int x) { x = 1; }
+        void outer() { int local; inner(local); }
+        int main() { outer(); }
+        """
+    )
+    # outer's write lands in its own local: no caller-visible mod.
+    assert result.may_mod["outer"] == set()
+
+
+def test_input_is_tracked_as_state():
+    result = modref(
+        """
+        void reader() { int x = input(); }
+        int main() { reader(); }
+        """
+    )
+    assert INPUT in result.may_mod["reader"]
+    assert INPUT in result.may_ref["reader"]
+    assert INPUT in result.may_mod["main"]
+    assert INPUT in result.must_mod["reader"]
+
+
+def test_conditional_input_not_must():
+    result = modref(
+        """
+        void reader(int c) { if (c > 0) { int x = input(); } }
+        int main() { reader(1); }
+        """
+    )
+    assert INPUT in result.may_mod["reader"]
+    assert INPUT not in result.must_mod["reader"]
+
+
+def test_ref_in_and_mod_out_sets():
+    result = modref(
+        """
+        int a; int b; int c;
+        void f(int p) {
+          b = a;
+          if (p > 0) { c = 1; }
+        }
+        int main() { f(1); }
+        """
+    )
+    globals_ = {"a", "b", "c"}
+    # a read; c weakly modified -> both need a formal-in; b must-modified.
+    assert result.ref_in_globals("f", globals_) == {"a", "c"}
+    assert result.mod_out_globals("f", globals_) == {"b", "c"}
+
+
+def test_recursive_must_mod_greatest_fixpoint():
+    result = modref(
+        """
+        int g;
+        void r(int k) {
+          g = 1;
+          if (k > 0) { r(k - 1); }
+        }
+        int main() { r(3); }
+        """
+    )
+    assert "g" in result.must_mod["r"]

@@ -1,0 +1,127 @@
+"""CFG, postdominator, and control-dependence unit tests."""
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.control_dep import control_dependence
+from repro.analysis.postdom import immediate_postdominators, postdominators
+
+
+def diamond():
+    """entry -> c -> {a, b} -> join -> exit."""
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("entry", "c")
+    cfg.add_edge("c", "a")
+    cfg.add_edge("c", "b")
+    cfg.add_edge("a", "join")
+    cfg.add_edge("b", "join")
+    cfg.add_edge("join", "exit")
+    return cfg
+
+
+def test_cfg_edges_and_dedup():
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("entry", "x")
+    cfg.add_edge("entry", "x")
+    assert cfg.successors("entry") == ["x"]
+    assert cfg.predecessors("x") == ["entry"]
+
+
+def test_fallthrough_edges_filtered():
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("entry", "a")
+    cfg.add_edge("a", "exit", fallthrough=True)
+    assert cfg.successors("a") == ["exit"]
+    assert cfg.successors("a", include_fallthrough=False) == []
+
+
+def test_executable_wins_over_fallthrough():
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("a", "b")
+    cfg.add_edge("a", "b", fallthrough=True)
+    assert cfg.successors("a", include_fallthrough=False) == ["b"]
+    cfg2 = ControlFlowGraph("entry", "exit")
+    cfg2.add_edge("a", "b", fallthrough=True)
+    cfg2.add_edge("a", "b")
+    assert cfg2.successors("a", include_fallthrough=False) == ["b"]
+
+
+def test_reachable_from():
+    cfg = diamond()
+    assert "join" in cfg.reachable_from("c")
+    assert "entry" not in cfg.reachable_from("c")
+
+
+def test_postdominators_diamond():
+    cfg = diamond()
+    pdom = postdominators(cfg)
+    assert pdom["c"] == {"c", "join", "exit"}
+    assert pdom["a"] == {"a", "join", "exit"}
+    assert pdom["entry"] == {"entry", "c", "join", "exit"}
+
+
+def test_immediate_postdominators_diamond():
+    cfg = diamond()
+    ipdom = immediate_postdominators(cfg)
+    assert ipdom["c"] == "join"
+    assert ipdom["a"] == "join"
+    assert ipdom["join"] == "exit"
+    assert ipdom["exit"] is None
+
+
+def test_control_dependence_diamond():
+    cfg = diamond()
+    deps = control_dependence(cfg)
+    assert ("c", "a") in deps
+    assert ("c", "b") in deps
+    assert ("c", "join") not in deps
+
+
+def test_control_dependence_loop():
+    # entry -> w; w -> body -> w; w -> exit
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("entry", "w")
+    cfg.add_edge("w", "body")
+    cfg.add_edge("body", "w")
+    cfg.add_edge("w", "exit")
+    deps = control_dependence(cfg)
+    assert ("w", "body") in deps
+    assert ("w", "w") in deps  # loop predicate controls itself
+
+
+def test_control_dependence_entry_augmentation():
+    # With the entry->exit pseudo edge, top-level nodes depend on entry.
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("entry", "s1")
+    cfg.add_edge("s1", "s2")
+    cfg.add_edge("s2", "exit")
+    cfg.add_edge("entry", "exit", fallthrough=True)
+    deps = control_dependence(cfg)
+    assert ("entry", "s1") in deps
+    assert ("entry", "s2") in deps
+
+
+def test_control_dependence_early_return_shape():
+    # if (c) return; print  -- print depends on both c and the return
+    # pseudo-predicate (Ball-Horwitz).
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("entry", "c")
+    cfg.add_edge("entry", "exit", fallthrough=True)
+    cfg.add_edge("c", "ret")
+    cfg.add_edge("c", "print")
+    cfg.add_edge("ret", "retjoin")  # the jump
+    cfg.add_edge("ret", "print", fallthrough=True)
+    cfg.add_edge("print", "retjoin")
+    cfg.add_edge("retjoin", "exit")
+    deps = control_dependence(cfg)
+    assert ("c", "print") in deps
+    assert ("ret", "print") in deps
+
+
+def test_infinite_loop_does_not_crash():
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("entry", "w")
+    cfg.add_edge("w", "w2")
+    cfg.add_edge("w2", "w")
+    # no path to exit from the loop
+    cfg.add_edge("entry", "exit", fallthrough=True)
+    postdominators(cfg)
+    control_dependence(cfg)

@@ -1,0 +1,118 @@
+"""Useless-code-elimination tests (§7's suggested post-pass)."""
+
+from repro.core import remove_feature
+from repro.core.cleanup import clean_feature_removal, useless_code_elimination
+from repro.lang import ast_nodes as A
+from repro.lang import check, parse, pretty
+from repro.lang.interp import run_program
+from repro.workloads.paper_figures import load_fig16
+
+
+def test_fig16_cleanup_removes_mult():
+    """§7: after removing the product feature, the residual mult
+    specialization and its call are useless; the cleanup pass drops
+    them."""
+    program, _info, sdg = load_fig16()
+    prod_decl = next(
+        s
+        for s in A.walk_stmts(program.proc("main").body)
+        if isinstance(s, A.LocalDecl) and s.name == "prod"
+    )
+    result = remove_feature(
+        sdg, [sdg.vertex_of_stmt[prod_decl.uid]], contexts="empty"
+    )
+    raw, cleaned = clean_feature_removal(result)
+
+    raw_text = pretty(raw.program)
+    cleaned_text = pretty(cleaned.program)
+    assert "mult" in raw_text  # the paper's pre-cleanup residue
+    assert "mult" not in cleaned_text  # gone after cleanup
+    assert "add" in cleaned_text  # still needed for the sum
+
+    original = run_program(program, max_steps=5_000_000)
+    final = run_program(cleaned.program, max_steps=5_000_000)
+    assert final.values == [original.values[0]]
+    assert final.steps < original.steps
+
+
+def test_cleanup_is_noop_on_minimal_program():
+    program = parse(
+        """
+        int g;
+        int main() {
+          g = input();
+          print("%d", g);
+        }
+        """
+    )
+    check(program)
+    cleaned = useless_code_elimination(program)
+    assert run_program(cleaned.program, [7]).values == [7]
+    # Nothing to remove: statement count is unchanged.
+    count = lambda p: sum(1 for proc in p.procs for _ in A.walk_stmts(proc.body))
+    assert count(cleaned.program) == count(program)
+
+
+def test_cleanup_drops_dead_procedure():
+    program = parse(
+        """
+        int g; int junk;
+        void pointless(int v) { junk = v; }
+        int main() {
+          g = 2;
+          pointless(5);
+          print("%d", g);
+        }
+        """
+    )
+    check(program)
+    cleaned = useless_code_elimination(program)
+    text = pretty(cleaned.program)
+    assert "pointless" not in text
+    assert run_program(cleaned.program).values == [2]
+
+
+def test_cleanup_keeps_exit_behaviour():
+    program = parse(
+        """
+        int g;
+        int main() {
+          int x = input();
+          if (x < 0) { exit(1); }
+          g = 3;
+          print("%d", g);
+        }
+        """
+    )
+    check(program)
+    cleaned = useless_code_elimination(program)
+    for inputs in ([-5], [5]):
+        original = run_program(program, inputs)
+        final = run_program(cleaned.program, inputs)
+        assert original.values == final.values
+        assert original.exit_code == final.exit_code
+
+
+def test_cleanup_of_unobservable_program():
+    program = parse("int g; int main() { g = 1; return 0; }")
+    check(program)
+    cleaned = useless_code_elimination(program)
+    assert run_program(cleaned.program).values == []
+
+
+def test_composed_stmt_map():
+    program, _info, sdg = load_fig16()
+    prod_decl = next(
+        s
+        for s in A.walk_stmts(program.proc("main").body)
+        if isinstance(s, A.LocalDecl) and s.name == "prod"
+    )
+    result = remove_feature(
+        sdg, [sdg.vertex_of_stmt[prod_decl.uid]], contexts="empty"
+    )
+    _raw, cleaned = clean_feature_removal(result)
+    original_uids = {
+        s.uid for proc in program.procs for s in A.walk_stmts(proc.body)
+    }
+    for new_uid, orig_uid in cleaned.stmt_map.items():
+        assert orig_uid in original_uids

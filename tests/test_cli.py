@@ -1,0 +1,106 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.paper_figures import FIG1_SOURCE, FIG16_SOURCE
+
+
+@pytest.fixture()
+def fig1_file(tmp_path):
+    path = tmp_path / "fig1.tc"
+    path.write_text(FIG1_SOURCE)
+    return str(path)
+
+
+@pytest.fixture()
+def fig16_file(tmp_path):
+    path = tmp_path / "fig16.tc"
+    path.write_text(FIG16_SOURCE)
+    return str(path)
+
+
+def run_cli(argv):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+def test_info(fig1_file):
+    output = run_cli(["info", fig1_file])
+    assert "procedures:   2" in output
+    assert "vertices:" in output
+
+
+def test_slice(fig1_file):
+    output = run_cli(["slice", fig1_file])
+    assert "versions" in output
+    assert "p_1" in output and "p_2" in output
+
+
+def test_slice_print_index_out_of_range(fig1_file):
+    with pytest.raises(SystemExit):
+        run_cli(["slice", fig1_file, "--print", "9"])
+
+
+def test_mono(fig1_file):
+    output = run_cli(["mono", fig1_file])
+    assert "g2 = 100" in output  # the Binkley add-back
+    assert "void p(int a, int b)" in output
+
+
+def test_remove(fig16_file):
+    output = run_cli(["remove", fig16_file, "--feature", "int prod = 1"])
+    assert "removed" in output
+    assert "prod = mult" not in output.replace("int prod", "")
+
+
+def test_remove_no_match(fig16_file):
+    with pytest.raises(SystemExit):
+        run_cli(["remove", fig16_file, "--feature", "no such stmt"])
+
+
+def test_run(fig1_file):
+    output = run_cli(["run", fig1_file])
+    assert "5" in output
+    assert "steps" in output
+
+
+def test_run_with_inputs(tmp_path):
+    path = tmp_path / "echo.tc"
+    path.write_text('int main() { int x = input(); print("%d", x); }')
+    output = run_cli(["run", str(path), "--inputs", "42"])
+    assert "42" in output
+
+
+def test_bta(tmp_path):
+    path = tmp_path / "bta.tc"
+    path.write_text(
+        """
+        int g;
+        void f(int a) { g = a; }
+        int main() { int d = input(); f(d); print("%d", g); }
+        """
+    )
+    output = run_cli(["bta", str(path)])
+    assert "f:" in output
+
+
+def test_bta_static(fig1_file):
+    output = run_cli(["bta", fig1_file])
+    assert "fully static" in output
+
+
+def test_main_entry(fig1_file, capsys):
+    assert main(["info", fig1_file]) == 0
+    captured = capsys.readouterr()
+    assert "procedures" in captured.out
+
+
+def test_cli_handles_funcptr_files(tmp_path):
+    from repro.workloads.paper_figures import FIG15_SOURCE
+
+    path = tmp_path / "fig15.tc"
+    path.write_text(FIG15_SOURCE)
+    output = run_cli(["slice", str(path)])
+    assert "indirect_1" in output

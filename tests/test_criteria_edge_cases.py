@@ -1,0 +1,90 @@
+"""Criterion-construction edge cases."""
+
+import pytest
+
+from repro.core.criteria import (
+    as_query_view,
+    configs_criterion,
+    empty_stack_criterion,
+    reachable_contexts_criterion,
+    rebase_initial,
+)
+from repro.fsa import FiniteAutomaton
+from repro.pds import encode_sdg
+from repro.workloads.paper_figures import load_fig1
+
+
+def test_rebase_initial_identity():
+    auto = FiniteAutomaton(initials=["p"], finals=["f"])
+    auto.add_transition("p", "x", "f")
+    assert rebase_initial(auto, "p") is auto
+
+
+def test_rebase_initial_renames():
+    auto = FiniteAutomaton(initials=["start"], finals=["f"])
+    auto.add_transition("start", "x", "f")
+    rebased = rebase_initial(auto, "p")
+    assert rebased.initials == {"p"}
+    assert rebased.accepts(["x"])
+
+
+def test_rebase_initial_rejects_multiple():
+    auto = FiniteAutomaton(initials=["a", "b"])
+    with pytest.raises(ValueError):
+        rebase_initial(auto, "p")
+
+
+def test_rebase_initial_rejects_incoming():
+    auto = FiniteAutomaton(initials=["start"], finals=["start"])
+    auto.add_transition("start", "x", "start")
+    with pytest.raises(ValueError):
+        rebase_initial(auto, "p")
+
+
+def test_unreachable_criterion_gives_empty_query():
+    """Vertices in dead code yield an empty reachable-contexts query."""
+    from repro.lang import check, parse
+    from repro.sdg import build_sdg
+
+    program = parse(
+        """
+        int g;
+        void dead() { print("%d", g); }
+        int main() { g = 1; print("%d", g); }
+        """
+    )
+    info = check(program)
+    sdg = build_sdg(program, info)
+    encoding = encode_sdg(sdg)
+    dead_print = next(
+        vid
+        for vid in sdg.print_call_vertices()
+        if sdg.vertices[vid].proc == "dead"
+    )
+    criterion = sdg.print_criterion([dead_print])
+    query = reachable_contexts_criterion(encoding, sorted(criterion))
+    assert not query.finals or not query.trim().states
+
+
+def test_configs_criterion_empty_context():
+    _p, _i, sdg = load_fig1()
+    encoding = encode_sdg(sdg)
+    vid = next(iter(sdg.print_criterion()))
+    auto = configs_criterion(encoding, [(vid, ())])
+    assert auto.accepts([vid])
+    assert not auto.accepts([vid, "C1"])
+
+
+def test_as_query_view_drops_fo_locations():
+    from repro.pds import prestar
+
+    _p, _i, sdg = load_fig1()
+    encoding = encode_sdg(sdg)
+    saturated = prestar(
+        encoding.pds, empty_stack_criterion(encoding, sdg.print_criterion())
+    )
+    view = as_query_view(saturated, encoding)
+    assert view.initials == {encoding.main_location}
+    # Trimmed: every state reaches a final state.
+    trimmed = view.trim()
+    assert set(trimmed.states) == set(view.states)

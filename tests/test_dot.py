@@ -1,0 +1,61 @@
+"""DOT-export tests."""
+
+from repro.core import specialization_slice
+from repro.sdg import backward_closure_slice
+from repro.sdg.dot import automaton_to_dot, sdg_to_dot
+from repro.workloads.paper_figures import load_fig1
+
+
+def test_sdg_dot_structure():
+    _p, _i, sdg = load_fig1()
+    text = sdg_to_dot(sdg, title="fig1")
+    assert text.startswith('digraph "fig1" {')
+    assert text.rstrip().endswith("}")
+    assert "subgraph cluster_0" in text
+    # one node line per vertex
+    assert text.count("shape=") >= sdg.vertex_count()
+    # dashed interprocedural edges present
+    assert "style=dashed" in text
+
+
+def test_sdg_dot_highlight():
+    _p, _i, sdg = load_fig1()
+    slice_set = backward_closure_slice(sdg, sdg.print_criterion())
+    text = sdg_to_dot(sdg, highlight=slice_set)
+    assert text.count("penwidth=2.5") == len(slice_set)
+
+
+def test_sdg_dot_summary_edges_optional():
+    _p, _i, sdg = load_fig1()
+    without = sdg_to_dot(sdg)
+    with_summary = sdg_to_dot(sdg, include_summary=True)
+    assert "style=dotted" not in without
+    assert "style=dotted" in with_summary
+
+
+def test_sdg_dot_escapes_labels():
+    _p, _i, sdg = load_fig1()
+    text = sdg_to_dot(sdg, title='with "quotes"')
+    assert '\\"quotes\\"' in text
+
+
+def test_automaton_dot():
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    text = automaton_to_dot(result.a6, title="A6")
+    assert "doublecircle" in text  # final state
+    assert "__start ->" in text
+    assert text.count("->") >= 3
+
+
+def test_automaton_dot_symbol_labels():
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+
+    def label(symbol):
+        if symbol in sdg.vertices:
+            return sdg.vertices[symbol].label
+        return symbol
+
+    text = automaton_to_dot(result.a6, symbol_label=label)
+    assert "g2 = b" in text

@@ -1,0 +1,190 @@
+"""Executable-program generation tests (Alg. 1 step 5)."""
+
+from repro.core import executable_program, specialization_slice
+from repro.lang import ast_nodes as A
+from repro.lang import check, parse, pretty
+from repro.lang.interp import run_program
+from repro.sdg import build_sdg
+
+
+def slice_program(source, criterion=None, contexts="reachable"):
+    program = parse(source)
+    info = check(program)
+    sdg = build_sdg(program, info)
+    if criterion is None:
+        criterion = sdg.print_criterion()
+    result = specialization_slice(sdg, criterion, contexts=contexts)
+    return program, sdg, result, executable_program(result)
+
+
+def test_demoted_call_keeps_side_effects():
+    """x = f(...) with a dead result but live side effects becomes
+    f(...);"""
+    _p, _sdg, _res, sl = slice_program(
+        """
+        int g;
+        int f(int a) { g = a; return a + 1; }
+        int main() { int x = f(3); print("%d", g); }
+        """
+    )
+    main = sl.program.proc("main")
+    call_stmts = [s for s in A.walk_stmts(main.body) if isinstance(s, A.CallStmt)]
+    assert len(call_stmts) == 1
+    assert not any(
+        isinstance(s, (A.Assign, A.LocalDecl))
+        and isinstance(getattr(s, "expr", getattr(s, "init", None)), A.CallExpr)
+        for s in A.walk_stmts(main.body)
+    )
+    original = run_program(parse_and_check(_p))
+    assert run_program(sl.program).values == original.values
+
+
+def parse_and_check(program):
+    reparsed = parse(pretty(program))
+    check(reparsed)
+    return reparsed
+
+
+def test_void_conversion_drops_return_value():
+    _p, _sdg, res, sl = slice_program(
+        """
+        int g;
+        int f() { g = 1; return 42; }
+        int main() { f(); print("%d", g); }
+        """
+    )
+    f_spec = res.specializations_of("f")[0]
+    proc = sl.program.proc(f_spec.name)
+    assert proc.ret == "void"
+    returns = [s for s in A.walk_stmts(proc.body) if isinstance(s, A.Return)]
+    assert all(r.expr is None for r in returns)
+
+
+def test_local_decl_reinserted_when_killed():
+    """int x; x = input(); print(x): the declaration's zero value is
+    dead, but x must still be declared in the slice."""
+    _p, _sdg, _res, sl = slice_program(
+        """
+        int main() {
+          int x = 5;
+          x = input();
+          print("%d", x);
+        }
+        """
+    )
+    main = sl.program.proc("main")
+    decls = [s for s in A.walk_stmts(main.body) if isinstance(s, A.LocalDecl)]
+    assert any(d.name == "x" for d in decls)
+    check(sl.program)  # must be a legal program
+    assert run_program(sl.program, [7]).values == [7]
+
+
+def test_unreferenced_globals_dropped():
+    _p, _sdg, _res, sl = slice_program(
+        """
+        int used; int unused;
+        int main() { used = 1; unused = 2; print("%d", used); }
+        """
+    )
+    names = [decl.name for decl in sl.program.globals]
+    assert names == ["used"]
+
+
+def test_global_initializer_preserved():
+    _p, _sdg, _res, sl = slice_program(
+        'int g = 9; int main() { print("%d", g); }'
+    )
+    decl = sl.program.globals[0]
+    assert decl.init.value == 9
+    assert run_program(sl.program).values == [9]
+
+
+def test_empty_else_dropped():
+    _p, _sdg, _res, sl = slice_program(
+        """
+        int g;
+        int main() {
+          int c = input();
+          if (c > 0) { g = 1; } else { c = 2; }
+          print("%d", g);
+        }
+        """
+    )
+    main = sl.program.proc("main")
+    ifs = [s for s in A.walk_stmts(main.body) if isinstance(s, A.If)]
+    assert len(ifs) == 1
+    assert ifs[0].els is None
+
+
+def test_stmt_map_points_back():
+    program, _sdg, _res, sl = slice_program(
+        'int main() { int x = 1; print("%d", x); }'
+    )
+    original_uids = {s.uid for s in A.walk_stmts(program.proc("main").body)}
+    for new_uid, orig_uid in sl.stmt_map.items():
+        assert orig_uid in original_uids
+
+
+def test_print_keeps_all_arguments():
+    """Library edges force every print argument into the slice."""
+    _p, _sdg, _res, sl = slice_program(
+        """
+        int a; int b;
+        int main() { a = 1; b = 2; print("%d %d", a, b); }
+        """
+    )
+    main = sl.program.proc("main")
+    prints = [s for s in A.walk_stmts(main.body) if isinstance(s, A.Print)]
+    assert len(prints[0].args) == 2
+    assert run_program(sl.program).values == [1, 2]
+
+
+def test_while_loop_kept_with_counter():
+    _p, _sdg, _res, sl = slice_program(
+        """
+        int main() {
+          int total = 0;
+          int junk = 0;
+          int i = 0;
+          while (i < 4) {
+            total = total + i;
+            junk = junk + 100;
+            i = i + 1;
+          }
+          print("%d", total);
+        }
+        """
+    )
+    text = pretty(sl.program)
+    assert "junk" not in text
+    assert "while (i < 4)" in text
+    assert run_program(sl.program).values == [6]
+
+
+def test_input_alignment_preserved():
+    """Earlier input() calls stay in the slice to keep the stream
+    aligned, even when their values are dead."""
+    _p, _sdg, _res, sl = slice_program(
+        """
+        int main() {
+          int dead = input();
+          int live = input();
+          print("%d", live);
+        }
+        """
+    )
+    assert run_program(sl.program, [10, 20]).values == [20]
+
+
+def test_slice_is_checkable_and_printable():
+    _p, _sdg, _res, sl = slice_program(
+        """
+        int g;
+        void helper(int v) { g = v; }
+        int main() { helper(3); print("%d", g); }
+        """
+    )
+    text = pretty(sl.program)
+    reparsed = parse(text)
+    check(reparsed)
+    assert run_program(reparsed).values == [3]

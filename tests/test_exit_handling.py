@@ -1,0 +1,136 @@
+"""§6.1 termination-modeling tests: exit, may-exit calls, halt
+vertices."""
+
+from repro.core import executable_program, specialization_slice
+from repro.lang import check, parse, pretty
+from repro.lang.interp import run_program
+from repro.sdg import VertexKind, build_sdg
+from repro.workloads.paper_figures import load_exit_example
+
+
+def slice_of(source, inputs_list):
+    program = parse(source)
+    info = check(program)
+    sdg = build_sdg(program, info)
+    result = specialization_slice(sdg, sdg.print_criterion())
+    executable = executable_program(result)
+    for inputs in inputs_list:
+        original = run_program(program, inputs)
+        sliced = run_program(executable.program, inputs)
+        assert original.values == sliced.values, (inputs, pretty(executable.program))
+    return sdg, executable
+
+
+def test_exit_argument_pinned_by_library_edge():
+    """§6.1: the exit call's argument must be in any slice containing
+    the exit."""
+    sdg, executable = slice_of(
+        """
+        int g;
+        int main() {
+          int code = input();
+          if (g == 0) { exit(code); }
+          print("%d", g);
+        }
+        """,
+        [[5], [0]],
+    )
+    text = pretty(executable.program)
+    assert "exit(code)" in text
+
+
+def test_direct_conditional_exit_guards_print():
+    slice_of(
+        """
+        int g;
+        int main() {
+          int x = input();
+          if (x < 0) { exit(1); }
+          g = 1;
+          print("%d", g);
+        }
+        """,
+        [[-1], [3]],
+    )
+
+
+def test_interprocedural_exit_guard():
+    """The paper's §6.1 concern, one level deep: check() may exit, so
+    the print after the call depends on the exit inside check()."""
+    program, _i, sdg = load_exit_example()
+    result = specialization_slice(sdg, sdg.print_criterion())
+    executable = executable_program(result)
+    text = pretty(executable.program)
+    assert "exit(1)" in text  # the guard survived
+    for inputs in ([[-2]], [[4]]):
+        original = run_program(program, inputs[0])
+        sliced = run_program(executable.program, inputs[0])
+        assert original.values == sliced.values
+
+
+def test_exit_two_levels_deep():
+    slice_of(
+        """
+        int g;
+        void inner(int v) { if (v < 0) { exit(2); } }
+        void outer(int v) { inner(v); }
+        int main() {
+          int x = input();
+          outer(x);
+          g = 7;
+          print("%d", g);
+        }
+        """,
+        [[-1], [1]],
+    )
+
+
+def test_halt_vertices_created_only_for_may_exit():
+    program = parse(
+        """
+        int g;
+        void clean() { g = 1; }
+        void dirty() { exit(1); }
+        int main() { clean(); print("%d", g); }
+        """
+    )
+    info = check(program)
+    sdg = build_sdg(program, info)
+    assert ("halt",) not in sdg.formal_outs["clean"]
+    assert ("halt",) in sdg.formal_outs["dirty"]
+    # main never calls dirty, so main cannot exit.
+    assert ("halt",) not in sdg.formal_outs["main"]
+
+
+def test_unconditional_exit_truncates():
+    slice_of(
+        """
+        int g;
+        int main() {
+          g = 1;
+          print("%d", g);
+          exit(0);
+          print("%d", 99);
+        }
+        """,
+        [[]],
+    )
+
+
+def test_exit_in_loop():
+    slice_of(
+        """
+        int g;
+        int main() {
+          int i = 0;
+          while (i < 10) {
+            int x = input();
+            if (x == 0) { exit(0); }
+            g = g + x;
+            i = i + 1;
+          }
+          print("%d", g);
+        }
+        """,
+        [[1, 2, 3, 0], [1, 1, 1, 1, 1, 1, 1, 1, 1, 1]],
+    )

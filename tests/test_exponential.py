@@ -1,0 +1,51 @@
+"""Fig. 13 / §4.3 exponential-family tests."""
+
+import pytest
+
+from repro.core import executable_program, specialization_slice
+from repro.lang.interp import run_program
+from repro.workloads.exponential import exponential_program, exponential_source
+
+
+def versions_of_pk(k):
+    _program, _info, sdg = exponential_program(k)
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    return result
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_exponential_specialization_count(k):
+    """All 2^k - 1 nonempty subsets of {g1..gk} arise as actual-out
+    patterns (the empty-need variant contributes no slice elements)."""
+    result = versions_of_pk(k)
+    assert result.version_counts()["Pk"] == 2 ** k - 1
+
+
+def test_growth_is_exponential():
+    counts = [versions_of_pk(k).version_counts()["Pk"] for k in (2, 3, 4, 5)]
+    ratios = [b / a for a, b in zip(counts, counts[1:])]
+    assert all(ratio > 1.8 for ratio in ratios)
+
+
+def test_source_generator_shape():
+    text = exponential_source(3)
+    assert text.count("Pk(m - 1);") == 3
+    assert "t2 = 0;" in text
+    program, _info, sdg = exponential_program(3)
+    assert len(program.procs) == 2
+
+
+def test_k1_source_valid():
+    program, _info, sdg = exponential_program(1)
+    assert sdg.vertex_count() > 0
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_exponential_slice_semantics(k):
+    program, _info, sdg = exponential_program(k)
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    executable = executable_program(result)
+    for branch_inputs in ([1] * k, [2] * k, list(range(1, k + 1))):
+        original = run_program(program, branch_inputs)
+        sliced = run_program(executable.program, branch_inputs)
+        assert original.values == sliced.values

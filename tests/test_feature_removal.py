@@ -1,0 +1,112 @@
+"""Feature-removal tests (§7, Algorithm 2, Fig. 16)."""
+
+from repro.core import executable_program, remove_feature
+from repro.lang import ast_nodes as A
+from repro.lang import check, parse, pretty
+from repro.lang.interp import run_program
+from repro.sdg import build_sdg
+from repro.workloads.paper_figures import load_fig16
+
+
+def prod_criterion(program, sdg):
+    stmt = next(
+        s
+        for s in A.walk_stmts(program.proc("main").body)
+        if isinstance(s, A.LocalDecl) and s.name == "prod"
+    )
+    return [sdg.vertex_of_stmt[stmt.uid]]
+
+
+def test_fig16_feature_removed():
+    program, _i, sdg = load_fig16()
+    result = remove_feature(sdg, prod_criterion(program, sdg), contexts="empty")
+    executable = executable_program(result)
+    text = pretty(executable.program)
+
+    # add survives (needed for the sum); tally loses the prod ref param.
+    assert "int add(int a, int b)" in text
+    tally = executable.program.proc(
+        result.specializations_of("tally")[0].name
+    )
+    param_names = [p.name for p in tally.params]
+    assert "prod" not in param_names
+    assert "sum" in param_names
+
+    # The product print is gone; the sum print remains.
+    prints = [
+        s
+        for proc in executable.program.procs
+        for s in A.walk_stmts(proc.body)
+        if isinstance(s, A.Print)
+    ]
+    assert len(prints) == 1
+
+
+def test_fig16_sum_behaviour_unchanged():
+    program, _i, sdg = load_fig16()
+    result = remove_feature(sdg, prod_criterion(program, sdg), contexts="empty")
+    executable = executable_program(result)
+    original = run_program(program, max_steps=5_000_000)
+    reduced = run_program(executable.program, max_steps=5_000_000)
+    # Original prints sum then prod; the reduced program prints only the
+    # sum, with the same value (1+..+6 = 21).
+    assert original.values[0] == 21
+    assert reduced.values == [21]
+    # And the reduced program does strictly less work.
+    assert reduced.steps < original.steps
+
+
+def test_fig16_useless_mult_specialization_retained():
+    """§7: the algorithm keeps a residual specialization of mult and its
+    call (useless-code elimination is a separate pass)."""
+    program, _i, sdg = load_fig16()
+    result = remove_feature(sdg, prod_criterion(program, sdg), contexts="empty")
+    assert result.version_counts()["mult"] == 1
+
+
+def test_feature_removal_single_procedure_complement():
+    """Obs. 7.1 for a one-procedure program: removing the forward slice
+    of a statement leaves exactly the backward-closed remainder."""
+    source = """
+    int a; int b;
+    int main() {
+      a = 1;
+      b = 2;
+      a = a + 1;
+      print("%d", a);
+      print("%d", b);
+    }
+    """
+    program = parse(source)
+    info = check(program)
+    sdg = build_sdg(program, info)
+    seed = next(
+        v.vid for v in sdg.vertices.values() if v.label == "b = 2"
+    )
+    result = remove_feature(sdg, [seed], contexts="empty")
+    executable = executable_program(result)
+    text = pretty(executable.program)
+    assert "b = 2" not in text
+    assert "a = a + 1" in text
+    reduced = run_program(executable.program)
+    assert reduced.values == [2]  # only the a-print remains
+
+
+def test_feature_removal_whole_program_noop():
+    """Removing the forward slice of an unused statement keeps
+    behaviour intact."""
+    source = """
+    int a; int dead;
+    int main() {
+      a = 1;
+      dead = 9;
+      print("%d", a);
+    }
+    """
+    program = parse(source)
+    info = check(program)
+    sdg = build_sdg(program, info)
+    seed = next(v.vid for v in sdg.vertices.values() if v.label == "dead = 9")
+    result = remove_feature(sdg, [seed], contexts="empty")
+    executable = executable_program(result)
+    assert run_program(executable.program).values == [1]

@@ -1,0 +1,246 @@
+"""FSA library tests: determinize, minimize, reverse, ops, MRD."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsa import (
+    FiniteAutomaton,
+    complement,
+    determinize,
+    intersection,
+    is_empty,
+    language_equal,
+    minimize,
+    mrd,
+    remove_epsilon,
+    reverse,
+    union,
+)
+from repro.fsa.automaton import EPSILON
+from repro.fsa.ops import is_reverse_deterministic
+
+
+def ab_words(max_len):
+    return [w for k in range(max_len + 1) for w in itertools.product("ab", repeat=k)]
+
+
+def make(transitions, initials=(0,), finals=(1,)):
+    auto = FiniteAutomaton(initials=initials, finals=finals)
+    for src, symbol, dst in transitions:
+        auto.add_transition(src, symbol, dst)
+    return auto
+
+
+@st.composite
+def random_nfa(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    finals = draw(st.sets(st.integers(min_value=0, max_value=n - 1), min_size=1))
+    auto = FiniteAutomaton(initials=[0], finals=finals)
+    count = draw(st.integers(min_value=0, max_value=12))
+    for _ in range(count):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        symbol = draw(st.sampled_from("ab"))
+        auto.add_transition(src, symbol, dst)
+    return auto
+
+
+# -- basics -----------------------------------------------------------------
+
+
+def test_accepts_nfa():
+    auto = make([(0, "a", 1), (0, "a", 2), (2, "b", 1)])
+    assert auto.accepts(["a"])
+    assert auto.accepts(["a", "b"])
+    assert not auto.accepts(["b"])
+
+
+def test_epsilon_closure_and_accepts():
+    auto = make([(0, EPSILON, 1), (1, "a", 2)], finals=(2,))
+    assert auto.accepts(["a"])
+    assert not auto.accepts([])
+    assert auto.epsilon_closure([0]) == {0, 1}
+
+
+def test_trim_removes_dead_and_unreachable():
+    auto = make([(0, "a", 1), (2, "a", 1), (0, "b", 3)])
+    trimmed = auto.trim()
+    assert 2 not in trimmed.states  # unreachable
+    assert 3 not in trimmed.states  # dead
+    assert trimmed.accepts(["a"])
+
+
+def test_enumerate_words():
+    auto = make([(0, "a", 1), (1, "b", 1)])
+    words = auto.enumerate_words(3)
+    assert ("a",) in words
+    assert ("a", "b", "b") in words
+    assert ("b",) not in words
+
+
+def test_is_deterministic():
+    dfa = make([(0, "a", 1)])
+    assert dfa.is_deterministic()
+    nfa = make([(0, "a", 1), (0, "a", 0)])
+    assert not nfa.is_deterministic()
+
+
+# -- determinize / minimize -----------------------------------------------------
+
+
+def test_determinize_equivalent():
+    auto = make([(0, "a", 1), (0, "a", 0), (0, "b", 0)])
+    dfa = determinize(auto)
+    assert dfa.is_deterministic()
+    for word in ab_words(5):
+        assert auto.accepts(word) == dfa.accepts(word)
+
+
+def test_minimize_merges_equivalent_states():
+    # two paths to equivalent accepting states
+    auto = make([(0, "a", 1), (0, "b", 2)], finals=(1, 2))
+    minimal = minimize(determinize(auto))
+    assert len(minimal.states) == 2
+
+
+def test_minimize_empty_language():
+    auto = make([(0, "a", 1)], finals=())
+    auto.add_final(5)  # unreachable final
+    minimal = minimize(determinize(auto))
+    assert not minimal.states
+
+
+def test_minimal_dfa_canonical():
+    # (a|b)*b : minimal DFA has 2 states
+    auto = FiniteAutomaton(initials=[0], finals=[1])
+    for symbol in "ab":
+        auto.add_transition(0, symbol, 0)
+    auto.add_transition(0, "b", 1)
+    minimal = minimize(determinize(auto))
+    assert len(minimal.states) == 2
+
+
+# -- reverse / complement / products ----------------------------------------------
+
+
+def test_reverse_language():
+    auto = make([(0, "a", 2), (2, "b", 1)])
+    rev = reverse(auto)
+    assert rev.accepts(["b", "a"])
+    assert not rev.accepts(["a", "b"])
+
+
+def test_complement():
+    auto = make([(0, "a", 1)])
+    comp = complement(auto, {"a", "b"})
+    for word in ab_words(4):
+        assert comp.accepts(word) == (not auto.accepts(word))
+
+
+def test_complement_of_empty():
+    comp = complement(FiniteAutomaton(initials=[0]), {"a"})
+    assert comp.accepts([])
+    assert comp.accepts(["a", "a"])
+
+
+def test_intersection():
+    ends_b = FiniteAutomaton(initials=[0], finals=[1])
+    for symbol in "ab":
+        ends_b.add_transition(0, symbol, 0)
+    ends_b.add_transition(0, "b", 1)
+    starts_a = make([(0, "a", 1), (1, "a", 1), (1, "b", 1)])
+    product = intersection(determinize(ends_b), starts_a)
+    assert product.accepts(["a", "b"])
+    assert not product.accepts(["b"])
+    assert not product.accepts(["a"])
+
+
+def test_union():
+    left = make([(0, "a", 1)])
+    right = make([(0, "b", 1)])
+    combined = union(left, right)
+    assert combined.accepts(["a"])
+    assert combined.accepts(["b"])
+    assert not combined.accepts(["a", "b"])
+
+
+def test_remove_epsilon():
+    auto = make([(0, EPSILON, 1), (1, "a", 2), (2, EPSILON, 3)], finals=(3,))
+    clean = remove_epsilon(auto)
+    assert not clean.has_epsilon()
+    for word in ab_words(3):
+        assert auto.accepts(word) == clean.accepts(word)
+
+
+def test_language_equal_positive_and_negative():
+    a1 = make([(0, "a", 1), (1, "a", 1)])
+    a2 = make([(0, "a", 1), (1, "a", 0)], finals=(1, 0))
+    # a+ vs (aa)*|a(aa)* -- a2 accepts "" too, so unequal
+    assert not language_equal(a1, a2)
+    a3 = make([(0, "a", 5), (5, "a", 5)], finals=(5,))
+    assert language_equal(a1, a3)
+
+
+def test_is_empty():
+    assert is_empty(FiniteAutomaton(initials=[0]))
+    assert not is_empty(make([(0, "a", 1)]))
+
+
+# -- MRD -----------------------------------------------------------------------
+
+
+def test_mrd_is_reverse_deterministic():
+    auto = make([(0, "a", 1), (0, "b", 1), (0, "a", 2), (2, "b", 1)])
+    result = mrd(auto)
+    assert is_reverse_deterministic(result)
+    for word in ab_words(4):
+        assert auto.accepts(word) == result.accepts(word)
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_nfa())
+def test_property_determinize_minimize_preserve_language(auto):
+    minimal = minimize(determinize(auto))
+    for word in ab_words(4):
+        assert auto.accepts(word) == minimal.accepts(word)
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_nfa())
+def test_property_mrd(auto):
+    result = mrd(auto)
+    assert language_equal(auto, result)
+    if result.finals:
+        assert is_reverse_deterministic(result)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_nfa())
+def test_property_complement_partitions(auto):
+    comp = complement(auto, {"a", "b"})
+    for word in ab_words(4):
+        assert comp.accepts(word) != auto.accepts(word)
+    assert is_empty(intersection(determinize(auto), comp))
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_nfa())
+def test_property_double_reverse_identity(auto):
+    assert language_equal(auto, reverse(reverse(auto)))
+
+
+def test_transducer_apply_and_inverse():
+    from repro.fsa import Transducer
+
+    transducer = Transducer({"x": "a", "y": "a", "z": "b"})
+    auto = make([(0, "x", 1), (1, "z", 2)], finals=(2,))
+    mapped = transducer.apply(auto)
+    assert mapped.accepts(["a", "b"])
+    source = make([(0, "a", 1)], finals=(1,))
+    inverse = transducer.apply_inverse(source)
+    assert inverse.accepts(["x"])
+    assert inverse.accepts(["y"])
+    assert not inverse.accepts(["z"])
+    assert transducer.inverse_of("a") == {"x", "y"}

@@ -1,0 +1,65 @@
+"""Front-end robustness fuzzing: arbitrary input must produce a clean
+TinyC diagnostic or a successful parse — never an internal error."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import check, parse, pretty
+from repro.lang.errors import TinyCError
+from repro.lang.tokens import tokenize
+
+# Text biased toward TinyC-looking fragments so the parser gets past
+# the lexer often enough to be exercised.
+fragments = st.sampled_from(
+    [
+        "int", "void", "ref", "fnptr", "main", "g", "x", "f", "(", ")",
+        "{", "}", ";", ",", "=", "==", "+", "-", "*", "/", "%", "<",
+        "while", "if", "else", "return", "print", "input", "exit",
+        "0", "1", "42", '"s"', "&", "&&", "||", "!", " ", "\n",
+    ]
+)
+soup = st.lists(fragments, max_size=60).map(" ".join)
+raw = st.text(max_size=80)
+
+
+@settings(max_examples=300, deadline=None)
+@given(soup)
+def test_parser_total_on_token_soup(source):
+    try:
+        program = parse(source)
+        check(program)
+    except TinyCError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(raw)
+def test_lexer_total_on_raw_text(source):
+    try:
+        tokenize(source)
+    except TinyCError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(raw)
+def test_parser_total_on_raw_text(source):
+    try:
+        program = parse(source)
+        check(program)
+    except TinyCError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(soup)
+def test_successful_parses_roundtrip(source):
+    try:
+        program = parse(source)
+        check(program)
+    except TinyCError:
+        return
+    text = pretty(program)
+    reparsed = parse(text)
+    check(reparsed)
+    assert pretty(reparsed) == text

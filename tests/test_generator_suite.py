@@ -1,0 +1,75 @@
+"""Generator and benchmark-suite tests."""
+
+from repro.lang import check, parse, pretty
+from repro.lang.interp import run_program
+from repro.workloads.generator import GenConfig, generate_program
+from repro.workloads.suite import QUICK_SUITE, SUITE, load_suite
+
+
+def test_generator_deterministic():
+    a, _ = generate_program(GenConfig(seed=7, n_procs=5))
+    b, _ = generate_program(GenConfig(seed=7, n_procs=5))
+    assert pretty(a) == pretty(b)
+
+
+def test_generator_seeds_differ():
+    a, _ = generate_program(GenConfig(seed=1, n_procs=5))
+    b, _ = generate_program(GenConfig(seed=2, n_procs=5))
+    assert pretty(a) != pretty(b)
+
+
+def test_generated_programs_valid():
+    for seed in range(10):
+        program, info = generate_program(GenConfig(seed=seed, n_procs=5))
+        reparsed = parse(pretty(program))
+        check(reparsed)
+
+
+def test_generated_programs_terminate():
+    for seed in range(10):
+        program, _info = generate_program(GenConfig(seed=seed, n_procs=5))
+        result = run_program(program, [3, -1, 4, 1, 5] * 10, max_steps=3_000_000)
+        assert result.steps <= 3_000_000
+
+
+def test_generator_respects_proc_count():
+    program, _info = generate_program(GenConfig(seed=0, n_procs=12))
+    assert len(program.procs) == 13  # n_procs + main
+
+
+def test_generator_exit_prob():
+    program, _info = generate_program(
+        GenConfig(seed=3, n_procs=5, exit_prob=0.2)
+    )
+    assert "exit(" in pretty(program)
+
+
+def test_suite_names_match_fig17_order():
+    assert SUITE[0] == "tcas_like"
+    assert SUITE[-1] == "go_like"
+    assert "wc" in SUITE
+    assert len(SUITE) == 12
+    assert set(QUICK_SUITE) <= set(SUITE)
+
+
+def test_suite_loads_small_entries():
+    entries = load_suite(["tcas_like", "wc"], max_slices=2)
+    for entry in entries:
+        assert entry.sdg.vertex_count() > 0
+        assert entry.criteria
+        assert all(entry.criteria)
+        assert entry.paper["procs"] > 0
+        assert entry.source_lines() > 10
+
+
+def test_suite_cached():
+    first = load_suite(["tcas_like"])[0]
+    second = load_suite(["tcas_like"])[0]
+    assert first.sdg is second.sdg
+
+
+def test_suite_slice_cap():
+    entry = load_suite(["tcas_like"], max_slices=3)[0]
+    assert len(entry.criteria) == 3
+    full = load_suite(["tcas_like"])[0]
+    assert len(full.criteria) == full.paper["slices"] == 37

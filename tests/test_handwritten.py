@@ -1,0 +1,122 @@
+"""Hand-written workload tests: functional correctness of the subjects
+plus slice faithfulness on every print criterion."""
+
+import random
+
+import pytest
+
+from repro.core import executable_program, specialization_slice
+from repro.lang.interp import run_program
+from repro.workloads.handwritten import (
+    HANDWRITTEN,
+    load_scheduler,
+    load_statistics,
+    load_tokenizer,
+)
+from repro.workloads.wc import text_to_inputs
+
+
+def test_tokenizer_classification():
+    program, _info, _sdg = load_tokenizer()
+    result = run_program(program, text_to_inputs("abc 42 + x7 ="))
+    numbers, idents, ops, unknown, longest = result.values
+    assert numbers == 1
+    assert idents == 2  # abc, x7
+    assert ops == 2  # + and =
+    assert unknown == 0
+    assert longest == 3  # abc
+
+
+def test_tokenizer_unknown_characters():
+    program, _info, _sdg = load_tokenizer()
+    result = run_program(program, text_to_inputs("@ # 5"))
+    assert result.values[3] == 2  # @ and #
+
+
+def test_scheduler_conserves_jobs():
+    program, _info, _sdg = load_scheduler()
+    arrivals = [3, 1, 2, 3, 2, 1, 3]
+    result = run_program(program, arrivals + [0], max_steps=2_000_000)
+    completed, demotions, promotions, idle, clock = result.values
+    assert completed == len(arrivals)
+    assert clock >= len(arrivals)
+    assert demotions >= 0 and promotions >= 0
+
+
+def test_scheduler_idles_without_work():
+    program, _info, _sdg = load_scheduler()
+    result = run_program(program, [0], max_steps=100_000)
+    assert result.values[0] == 0  # nothing completed
+
+
+def test_statistics_values():
+    program, _info, _sdg = load_statistics()
+    samples = [4, -2, 10, 0, 7]
+    result = run_program(program, [len(samples)] + samples)
+    count, total, mean, minimum, maximum, spread, sign_gcd = result.values
+    assert count == 5
+    assert total == 19
+    assert mean == 3
+    assert (minimum, maximum, spread) == (-2, 10, 12)
+    assert sign_gcd == 1  # gcd(3 positives, 1 negative)
+
+
+def test_statistics_empty_stream():
+    program, _info, _sdg = load_statistics()
+    result = run_program(program, [0])
+    assert result.values[0] == 0
+
+
+@pytest.mark.parametrize("name", sorted(HANDWRITTEN))
+def test_every_print_slice_faithful(name):
+    program, _info, sdg = HANDWRITTEN[name]()
+    rng = random.Random(hash(name) & 0xFFFF)
+    input_sets = []
+    if name == "tokenizer":
+        input_sets = [text_to_inputs("foo 12 + bar99"), text_to_inputs("")]
+    elif name == "scheduler":
+        input_sets = [[3, 2, 1, 3, 0], [0]]
+    else:
+        input_sets = [[4, 5, -1, 2, 8], [0]]
+
+    for print_vid in sdg.print_call_vertices():
+        criterion = sdg.print_criterion([print_vid])
+        result = specialization_slice(sdg, criterion)
+        executable = executable_program(result)
+        expected_uid = sdg.vertices[print_vid].stmt_uid
+        for inputs in input_sets:
+            original = run_program(program, inputs, max_steps=2_000_000)
+            sliced = run_program(executable.program, inputs, max_steps=2_000_000)
+            mapped = [
+                (executable.stmt_map.get(uid), values)
+                for uid, _fmt, values in sliced.prints
+            ]
+            expected = [
+                (uid, values)
+                for uid, _fmt, values in original.prints
+                if uid == expected_uid
+            ]
+            assert mapped == expected, (name, print_vid, inputs)
+
+
+@pytest.mark.parametrize("name", sorted(HANDWRITTEN))
+def test_handwritten_reslice_idempotent(name):
+    from repro.core import reslice_check
+
+    _program, _info, sdg = HANDWRITTEN[name]()
+    criterion = sdg.print_criterion([sdg.print_call_vertices()[0]])
+    result = specialization_slice(sdg, criterion)
+    assert reslice_check(result)
+
+
+def test_tokenizer_slice_drops_unrelated_counters():
+    """Slicing on the numbers count must drop the operator machinery."""
+    program, _info, sdg = load_tokenizer()
+    numbers_print = sdg.print_call_vertices()[0]
+    result = specialization_slice(sdg, sdg.print_criterion([numbers_print]))
+    executable = executable_program(result)
+    from repro.lang import pretty
+
+    text = pretty(executable.program)
+    assert "n_ops" not in text
+    assert "is_op" not in text

@@ -1,0 +1,199 @@
+"""Interpreter unit tests."""
+
+import pytest
+
+from repro.lang import check, parse
+from repro.lang.interp import ExecutionLimitExceeded, Interpreter, run_program
+
+
+def run(source, inputs=(), max_steps=100_000):
+    program = parse(source)
+    check(program)
+    return run_program(program, inputs, max_steps=max_steps)
+
+
+def test_arithmetic_and_print():
+    result = run('int main() { print("%d", 2 + 3 * 4); }')
+    assert result.values == [14]
+
+
+def test_division_semantics_truncate_toward_zero():
+    result = run('int main() { print("%d %d %d %d", 7 / 2, -7 / 2, 7 % 2, -7 % 2); }')
+    assert result.values == [3, -3, 1, -1]
+
+
+def test_division_by_zero_is_total():
+    result = run('int main() { print("%d %d", 5 / 0, 5 % 0); }')
+    assert result.values == [0, 0]
+
+
+def test_comparisons_produce_01():
+    result = run('int main() { print("%d %d %d", 1 < 2, 2 < 1, 3 == 3); }')
+    assert result.values == [1, 0, 1]
+
+
+def test_logical_ops():
+    result = run('int main() { print("%d %d %d", 2 && 3, 0 || 5, !7); }')
+    assert result.values == [1, 1, 0]
+
+
+def test_if_else_and_while():
+    result = run(
+        """
+        int main() {
+          int total = 0;
+          int i = 0;
+          while (i < 5) {
+            if (i % 2 == 0) { total = total + i; }
+            i = i + 1;
+          }
+          print("%d", total);
+        }
+        """
+    )
+    assert result.values == [6]
+
+
+def test_globals_initialized():
+    result = run('int g = 7; int h; int main() { print("%d %d", g, h); }')
+    assert result.values == [7, 0]
+
+
+def test_call_and_return():
+    result = run(
+        "int add(int a, int b) { return a + b; }"
+        " int main() { int x = add(2, 3); print(\"%d\", x); }"
+    )
+    assert result.values == [5]
+
+
+def test_missing_return_yields_zero():
+    result = run(
+        "int f() { int x = 1; } int main() { int r = f(); print(\"%d\", r); }"
+    )
+    assert result.values == [0]
+
+
+def test_ref_parameters_alias_caller():
+    result = run(
+        """
+        void bump(ref int x) { x = x + 1; }
+        int main() { int v = 10; bump(v); bump(v); print("%d", v); }
+        """
+    )
+    assert result.values == [12]
+
+
+def test_recursion():
+    result = run(
+        """
+        int fib(int n) {
+          if (n < 2) { return n; }
+          int a = fib(n - 1);
+          int b = fib(n - 2);
+          return a + b;
+        }
+        int main() { int r = fib(10); print("%d", r); }
+        """
+    )
+    assert result.values == [55]
+
+
+def test_input_stream_and_exhaustion():
+    result = run(
+        "int main() { int a = input(); int b = input(); int c = input(); print(\"%d %d %d\", a, b, c); }",
+        inputs=[4, 5],
+    )
+    assert result.values == [4, 5, 0]
+
+
+def test_exit_stops_program():
+    result = run('int main() { print("%d", 1); exit(3); print("%d", 2); }')
+    assert result.values == [1]
+    assert result.exit_code == 3
+
+
+def test_exit_from_callee_stops_everything():
+    result = run(
+        """
+        void f() { exit(9); }
+        int main() { f(); print("%d", 1); }
+        """
+    )
+    assert result.values == []
+    assert result.exit_code == 9
+
+
+def test_function_pointers():
+    result = run(
+        """
+        int two(int x) { return x * 2; }
+        int three(int x) { return x * 3; }
+        int main() {
+          fnptr p;
+          p = two;
+          int a = p(5);
+          p = three;
+          int b = p(5);
+          print("%d %d", a, b);
+        }
+        """
+    )
+    assert result.values == [10, 15]
+
+
+def test_funcref_comparison():
+    result = run(
+        """
+        void f() {}
+        int main() { fnptr p; p = f; print("%d", p == f); }
+        """
+    )
+    assert result.values == [1]
+
+
+def test_uninitialized_fnptr_call_raises():
+    with pytest.raises(RuntimeError):
+        run("int main() { fnptr p; p(); }")
+
+
+def test_step_limit():
+    with pytest.raises(ExecutionLimitExceeded):
+        run("int main() { while (1) { } }", max_steps=100)
+
+
+def test_step_count_reported():
+    result = run('int main() { print("%d", 1); }')
+    assert result.steps >= 1
+
+
+def test_prints_at_filters_by_uid():
+    program = parse('int main() { print("%d", 1); print("%d", 2); }')
+    check(program)
+    stmts = program.proc("main").body.stmts
+    result = Interpreter(program).run()
+    only_first = result.prints_at([stmts[0].uid])
+    assert only_first == [(stmts[0].uid, (1,))]
+
+
+def test_render_with_format():
+    result = run('int main() { print("v=%d!\\n", 5); }')
+    assert result.render() == "v=5!\n"
+
+
+def test_local_decl_reinitializes_in_loop():
+    result = run(
+        """
+        int main() {
+          int i = 0;
+          while (i < 3) {
+            int x;
+            x = x + 1;
+            print("%d", x);
+            i = i + 1;
+          }
+        }
+        """
+    )
+    # x is re-declared (and zeroed) each iteration.
+    assert result.values == [1, 1, 1]

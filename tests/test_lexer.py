@@ -1,0 +1,89 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.tokens import Token, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def test_keywords_and_identifiers():
+    tokens = tokenize("int foo while whilex input ref")
+    assert [t.kind for t in tokens[:-1]] == [
+        "int",
+        "ident",
+        "while",
+        "ident",
+        "input",
+        "ref",
+    ]
+    assert tokens[1].value == "foo"
+    assert tokens[3].value == "whilex"
+
+
+def test_numbers():
+    tokens = tokenize("0 42 007")
+    assert [t.value for t in tokens[:-1]] == [0, 42, 7]
+    assert all(t.kind == "num" for t in tokens[:-1])
+
+
+def test_operators_longest_match():
+    assert kinds("== = <= < !=")[:-1] == ["==", "=", "<=", "<", "!="]
+    assert kinds("&& &")[:-1] == ["&&", "&"]
+
+
+def test_line_comment():
+    assert kinds("1 // comment here\n2")[:-1] == ["num", "num"]
+
+
+def test_block_comment():
+    assert kinds("1 /* a\nb*c */ 2")[:-1] == ["num", "num"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_string_literal_with_escapes():
+    tokens = tokenize(r'"a\nb\t\"q\\"')
+    assert tokens[0].kind == "string"
+    assert tokens[0].value == 'a\nb\t"q\\'
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_bad_escape():
+    with pytest.raises(LexError):
+        tokenize(r'"\x"')
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError) as info:
+        tokenize("a $ b")
+    assert "$" in str(info.value)
+
+
+def test_positions():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].col) == (1, 1)
+    assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+
+def test_eof_token_always_present():
+    assert tokenize("")[-1].kind == "eof"
+    assert tokenize("x")[-1].kind == "eof"
+
+
+def test_token_equality_and_hash():
+    a = Token("num", 3, 1, 1)
+    b = Token("num", 3, 9, 9)  # position-insensitive equality
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Token("num", 4, 1, 1)

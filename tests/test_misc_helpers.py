@@ -1,0 +1,142 @@
+"""Tests for small helpers not covered elsewhere."""
+
+from repro.fsa import FiniteAutomaton, Transducer
+from repro.lang import check, parse
+from repro.lang.interp import run_program
+from repro.sdg import build_sdg
+from repro.workloads.paper_figures import load_fig1
+
+
+def test_automaton_copy_independent():
+    auto = FiniteAutomaton(initials=[0], finals=[1])
+    auto.add_transition(0, "a", 1)
+    cloned = auto.copy()
+    cloned.add_transition(1, "b", 0)
+    assert not auto.has_transition(1, "b", 0)
+    assert cloned.accepts(["a", "b", "a"])
+    assert not auto.accepts(["a", "b", "a"])
+
+
+def test_automaton_renumber_preserves_language():
+    auto = FiniteAutomaton(initials=["start"], finals=[("x", 1)])
+    auto.add_transition("start", "a", ("x", 1))
+    renumbered = auto.renumber()
+    assert renumbered.accepts(["a"])
+    assert all(isinstance(state, int) for state in renumbered.states)
+
+
+def test_automaton_repr():
+    auto = FiniteAutomaton(initials=[0], finals=[1])
+    auto.add_transition(0, "a", 1)
+    text = repr(auto)
+    assert "2 states" in text and "1 transitions" in text
+
+
+def test_transducer_len_and_get():
+    transducer = Transducer({"x": "a"})
+    transducer.add("y", "b")
+    assert len(transducer) == 2
+    assert transducer["x"] == "a"
+    assert transducer.get("missing") is None
+    assert transducer.get("missing", "dflt") == "dflt"
+
+
+def test_sdg_describe():
+    _p, _i, sdg = load_fig1()
+    text = sdg.describe(sdg.print_criterion())
+    assert "actual-in" in text
+
+
+def test_sdg_stmt_vertices():
+    _p, _i, sdg = load_fig1()
+    program = sdg.program
+    from repro.lang import ast_nodes as A
+
+    uids = [s.uid for s in A.walk_stmts(program.proc("p").body)]
+    vids = sdg.stmt_vertices(uids)
+    assert len(vids) == 3
+
+
+def test_run_result_render_without_format():
+    program = parse("int main() { print(1, 2); }")
+    check(program)
+    result = run_program(program)
+    assert result.render() == "1 2\n"
+
+
+def test_interp_funcref_passed_as_value():
+    program = parse(
+        """
+        int apply(fnptr f, int x) {
+          int r = f(x);
+          return r;
+        }
+        int double_it(int v) { return v + v; }
+        int main() {
+          int r = apply(double_it, 21);
+          print("%d", r);
+        }
+        """
+    )
+    check(program)
+    assert run_program(program).values == [42]
+
+
+def test_callgraph_callsite_repr():
+    from repro.analysis.callgraph import build_call_graph
+
+    program = parse("void f() {} int main() { f(); }")
+    check(program)
+    graph = build_call_graph(program)
+    assert "main -> f" in repr(graph.sites[0])
+
+
+def test_pushdown_system_repr():
+    from repro.pds import PushdownSystem
+
+    pds = PushdownSystem()
+    pds.add_rule("p", "a", "p", ("b",))
+    assert "1 rules" in repr(pds)
+
+
+def test_vertex_repr_and_is_parameter():
+    _p, _i, sdg = load_fig1()
+    fi = sdg.formal_ins["p"][("param", 0)]
+    vertex = sdg.vertices[fi]
+    assert vertex.is_parameter()
+    assert "a_in" in repr(vertex)
+    entry = sdg.vertices[sdg.entry_vertex["p"]]
+    assert not entry.is_parameter()
+
+
+def test_specialized_pdg_repr():
+    from repro.core import specialization_slice
+
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    spec = result.specializations_of("p")[0]
+    assert "SpecializedPDG" in repr(spec)
+
+
+def test_suite_program_repr():
+    from repro.workloads.suite import load_suite
+
+    entry = load_suite(["wc"], max_slices=1)[0]
+    assert "wc" in repr(entry)
+
+
+def test_gen_config_knobs_effective():
+    from repro.lang import pretty
+    from repro.workloads.generator import GenConfig, generate_program
+
+    many, _ = generate_program(GenConfig(seed=5, n_procs=4, print_prob=0.4))
+    few, _ = generate_program(GenConfig(seed=5, n_procs=4, print_prob=0.0))
+    assert pretty(many).count("print(") > pretty(few).count("print(")
+
+
+def test_modref_info_api():
+    program = parse("int g; void f() { g = 1; } int main() { f(); }")
+    info = check(program)
+    sdg = build_sdg(program, info)
+    assert "g" in sdg.modref.mod_out_globals("f", info.global_names)
+    assert sdg.modref.ref_in_globals("f", info.global_names) == set()

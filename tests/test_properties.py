@@ -1,0 +1,204 @@
+"""Property-based end-to-end tests over randomly generated programs.
+
+These are the strongest checks in the suite: for arbitrary (terminating,
+valid) TinyC programs, the whole pipeline must satisfy the paper's
+correctness claims.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.control_dep import structural_control_dependence
+from repro.core import (
+    binkley_slice,
+    executable_program,
+    monovariant_program,
+    reslice_check,
+    specialization_slice,
+)
+from repro.core.criteria import as_query_view, empty_stack_criterion
+from repro.fsa import language_equal
+from repro.fsa.ops import is_reverse_deterministic
+from repro.lang import ast_nodes as A
+from repro.lang.interp import ExecutionLimitExceeded, run_program
+from repro.pds import encode_sdg, prestar
+from repro.sdg import CONTROL, VertexKind, backward_closure_slice, build_sdg
+from repro.workloads.generator import GenConfig, generate_program
+
+SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def build_random(seed, **kwargs):
+    config = GenConfig(seed=seed, n_procs=kwargs.pop("n_procs", 5), **kwargs)
+    program, info = generate_program(config)
+    sdg = build_sdg(program, info)
+    return program, info, sdg
+
+
+def run_both(program, sliced, stmt_map, seed, trials=2, length=25):
+    rng = random.Random(seed)
+    for _ in range(trials):
+        inputs = [rng.randint(-4, 9) for _ in range(length)]
+        try:
+            original = run_program(program, inputs, max_steps=2_000_000)
+            new = run_program(sliced, inputs, max_steps=2_000_000)
+        except ExecutionLimitExceeded:
+            continue
+        mapped = [(stmt_map.get(uid), vals) for uid, _f, vals in new.prints]
+        expected = [(uid, vals) for uid, _f, vals in original.prints]
+        assert mapped == expected
+
+
+@settings(**SETTINGS)
+@given(seed=seeds)
+def test_specialization_slice_semantically_faithful(seed):
+    program, _info, sdg = build_random(seed)
+    criterion = sdg.print_criterion()
+    if not criterion:
+        return
+    result = specialization_slice(sdg, criterion)
+    executable = executable_program(result)
+    run_both(program, executable.program, executable.stmt_map, seed)
+
+
+@settings(**SETTINGS)
+@given(seed=seeds)
+def test_prestar_elems_match_hrb_closure(seed):
+    _program, _info, sdg = build_random(seed)
+    criterion = sdg.print_criterion()
+    if not criterion:
+        return
+    encoding = encode_sdg(sdg)
+    saturated = prestar(encoding.pds, empty_stack_criterion(encoding, criterion))
+    main_criterion = {
+        vid for vid in criterion if sdg.vertices[vid].proc == "main"
+    }
+    if main_criterion != criterion:
+        return  # empty-stack criteria only make sense for main vertices
+    assert encoding.elems(saturated) == backward_closure_slice(sdg, criterion)
+
+
+@settings(**SETTINGS)
+@given(seed=seeds)
+def test_a6_invariants(seed):
+    _program, _info, sdg = build_random(seed)
+    criterion = sdg.print_criterion()
+    if not criterion:
+        return
+    result = specialization_slice(sdg, criterion)
+    if result.a6.finals:
+        assert is_reverse_deterministic(result.a6)
+    view = as_query_view(result.a1, result.encoding)
+    assert language_equal(view, result.a6)
+
+
+@settings(**SETTINGS)
+@given(seed=seeds)
+def test_soundness_no_elements_outside_closure(seed):
+    _program, _info, sdg = build_random(seed)
+    criterion = sdg.print_criterion()
+    if not criterion:
+        return
+    result = specialization_slice(sdg, criterion)
+    closure = result.closure_elems()
+    assert set(result.map_back_vertex.values()) <= closure
+
+
+@settings(**SETTINGS)
+@given(seed=seeds)
+def test_completeness_every_closure_element_covered(seed):
+    _program, _info, sdg = build_random(seed)
+    criterion = sdg.print_criterion()
+    if not criterion:
+        return
+    result = specialization_slice(sdg, criterion)
+    closure = result.closure_elems()
+    assert set(result.map_back_vertex.values()) == closure
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=seeds)
+def test_reslice_idempotent_on_random_programs(seed):
+    _program, _info, sdg = build_random(seed, n_procs=4)
+    criterion = sdg.print_criterion()
+    if not criterion:
+        return
+    result = specialization_slice(sdg, criterion)
+    assert reslice_check(result)
+
+
+@settings(**SETTINGS)
+@given(seed=seeds)
+def test_binkley_complete_and_faithful(seed):
+    program, _info, sdg = build_random(seed)
+    criterion = sdg.print_criterion()
+    if not criterion:
+        return
+    result = binkley_slice(sdg, criterion)
+    assert result.closure <= result.slice_set
+    sliced = monovariant_program(sdg, result.slice_set)
+    run_both(program, sliced.program, sliced.stmt_map, seed)
+
+
+@settings(**SETTINGS)
+@given(seed=seeds)
+def test_structural_control_dependence_agrees(seed):
+    """On generated programs (returns only in tail position, no exits),
+    syntax-directed control dependence must equal the FOW result for
+    statement/predicate/call vertices."""
+    program, _info, sdg = build_random(seed)
+    for proc in program.procs:
+        entry = sdg.entry_vertex[proc.name]
+        expected = structural_control_dependence(
+            proc, lambda uid: sdg.vertex_of_stmt[uid], entry
+        )
+        got = set()
+        for vid in sdg.proc_vertices[proc.name]:
+            vertex = sdg.vertices[vid]
+            if vertex.kind not in (
+                VertexKind.STATEMENT,
+                VertexKind.PREDICATE,
+                VertexKind.CALL,
+            ):
+                continue
+            for src in sdg.predecessors(vid, (CONTROL,)):
+                src_vertex = sdg.vertices[src]
+                if src_vertex.kind in (
+                    VertexKind.ENTRY,
+                    VertexKind.STATEMENT,
+                    VertexKind.PREDICATE,
+                    VertexKind.CALL,
+                ):
+                    got.add((src, vid))
+        # Tail returns create no extra dependences, so the sets match
+        # exactly for generated programs.
+        assert got == expected
+
+
+@settings(**SETTINGS)
+@given(seed=seeds)
+def test_specialization_never_exceeds_replication_bound(seed):
+    """|R| >= |closure| and every replicated element belongs to a
+    procedure with > 1 version."""
+    _program, _info, sdg = build_random(seed)
+    criterion = sdg.print_criterion()
+    if not criterion:
+        return
+    result = specialization_slice(sdg, criterion)
+    closure = result.closure_elems()
+    assert result.sdg.vertex_count() >= len(closure)
+    copies = {}
+    for orig in result.map_back_vertex.values():
+        copies[orig] = copies.get(orig, 0) + 1
+    versions = result.version_counts()
+    for orig, count in copies.items():
+        if count > 1:
+            assert versions[sdg.vertices[orig].proc] > 1

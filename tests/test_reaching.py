@@ -1,0 +1,83 @@
+"""Reaching-definitions / flow-dependence unit tests."""
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.reaching import flow_dependences, reaching_definitions
+
+
+def straight_line():
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("entry", "d1")  # x = ...
+    cfg.add_edge("d1", "d2")  # x = ... (kills d1)
+    cfg.add_edge("d2", "u")  # use x
+    cfg.add_edge("u", "exit")
+    return cfg
+
+
+def test_strong_kill():
+    cfg = straight_line()
+    defs = {"d1": {"x"}, "d2": {"x"}}
+    uses = {"u": {"x"}}
+    deps = flow_dependences(cfg, defs, uses)
+    assert ("d2", "u", "x") in deps
+    assert ("d1", "u", "x") not in deps
+
+
+def test_weak_def_does_not_kill():
+    cfg = straight_line()
+    defs = {"d1": {"x"}, "d2": {"x"}}
+    uses = {"u": {"x"}}
+    must = {"d1": {"x"}, "d2": set()}  # d2 is a may-def only
+    deps = flow_dependences(cfg, defs, uses, must)
+    assert ("d2", "u", "x") in deps
+    assert ("d1", "u", "x") in deps
+
+
+def test_branch_merge():
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("entry", "c")
+    cfg.add_edge("c", "d1")
+    cfg.add_edge("c", "d2")
+    cfg.add_edge("d1", "u")
+    cfg.add_edge("d2", "u")
+    cfg.add_edge("u", "exit")
+    deps = flow_dependences(cfg, {"d1": {"x"}, "d2": {"x"}}, {"u": {"x"}})
+    assert ("d1", "u", "x") in deps
+    assert ("d2", "u", "x") in deps
+
+
+def test_loop_carried_dependence():
+    # w -> b (x = x + 1) -> w; use at b sees its own def around the loop
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("entry", "d0")
+    cfg.add_edge("d0", "w")
+    cfg.add_edge("w", "b")
+    cfg.add_edge("b", "w")
+    cfg.add_edge("w", "exit")
+    deps = flow_dependences(cfg, {"d0": {"x"}, "b": {"x"}}, {"b": {"x"}})
+    assert ("b", "b", "x") in deps
+    assert ("d0", "b", "x") in deps
+
+
+def test_fallthrough_carries_no_dataflow():
+    cfg = ControlFlowGraph("entry", "exit")
+    cfg.add_edge("entry", "d1")
+    cfg.add_edge("d1", "u", fallthrough=True)
+    cfg.add_edge("u", "exit")
+    deps = flow_dependences(cfg, {"d1": {"x"}}, {"u": {"x"}})
+    assert deps == set()
+
+
+def test_reaching_sets_at_node():
+    cfg = straight_line()
+    in_sets = reaching_definitions(cfg, {"d1": {"x"}, "d2": {"x"}}, {"u": {"x"}})
+    assert in_sets["u"] == {("d2", "x")}
+    assert in_sets["d2"] == {("d1", "x")}
+
+
+def test_multiple_variables_independent():
+    cfg = straight_line()
+    defs = {"d1": {"x"}, "d2": {"y"}}
+    uses = {"u": {"x", "y"}}
+    deps = flow_dependences(cfg, defs, uses)
+    assert ("d1", "u", "x") in deps
+    assert ("d2", "u", "y") in deps

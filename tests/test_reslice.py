@@ -1,0 +1,91 @@
+"""§8.3 reslicing-check tests: specialization slicing is idempotent
+modulo renaming."""
+
+from repro.core import reslice_check, specialization_slice
+from repro.core.reslice import build_transducer
+from repro.workloads.paper_figures import (
+    load_exit_example,
+    load_fig1,
+    load_fig2,
+    load_fig15,
+    load_fig16,
+    load_flawed_example,
+)
+
+
+def run_check(sdg, contexts="empty"):
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts=contexts)
+    return result, reslice_check(result)
+
+
+def test_fig1_idempotent():
+    _p, _i, sdg = load_fig1()
+    _result, ok = run_check(sdg)
+    assert ok
+
+
+def test_fig2_idempotent_recursive():
+    _p, _i, sdg = load_fig2()
+    _result, ok = run_check(sdg)
+    assert ok
+
+
+def test_fig16_idempotent():
+    _p, _i, sdg = load_fig16()
+    _result, ok = run_check(sdg)
+    assert ok
+
+
+def test_fig15_idempotent():
+    _o, _l, _i, sdg = load_fig15()
+    _result, ok = run_check(sdg)
+    assert ok
+
+
+def test_exit_example_idempotent():
+    _p, _i, sdg = load_exit_example()
+    _result, ok = run_check(sdg, contexts="reachable")
+    assert ok
+
+
+def test_flawed_example_idempotent():
+    _p, _i, sdg = load_flawed_example()
+    _result, ok = run_check(sdg)
+    assert ok
+
+
+def test_transducer_maps_all_r_symbols():
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    transducer = build_transducer(result)
+    for new_vid in result.sdg.vertices:
+        assert transducer.get(new_vid) in sdg.vertices
+    for new_label in result.sdg.call_sites:
+        assert transducer.get(new_label) in sdg.call_sites
+
+
+def test_reslice_detects_corruption():
+    """Sanity: the check must fail if R is tampered with (a vertex's
+    mapping redirected)."""
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    # Redirect one mapped vertex to a different original vertex.
+    victim = next(
+        new_vid
+        for new_vid, orig in result.map_back_vertex.items()
+        if result.sdg.vertices[new_vid].kind == "statement"
+    )
+    other = next(
+        vid
+        for vid in sdg.vertices
+        if vid != result.map_back_vertex[victim]
+        and sdg.vertices[vid].kind == "statement"
+    )
+    result.map_back_vertex[victim] = other
+    assert not reslice_check(result)
+
+
+def test_empty_slice_trivially_idempotent():
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, [], contexts="empty")
+    assert reslice_check(result)

@@ -1,0 +1,198 @@
+"""SDG construction tests, validated against the paper's Fig. 3 where
+possible."""
+
+from repro.lang import check, parse
+from repro.sdg import CALL, CONTROL, FLOW, LIBRARY, PARAM_IN, PARAM_OUT, VertexKind, build_sdg
+from repro.workloads.paper_figures import load_fig1
+
+
+def build(source):
+    program = parse(source)
+    info = check(program)
+    return build_sdg(program, info)
+
+
+def vertices_by_kind(sdg, proc, kind):
+    return [
+        sdg.vertices[v]
+        for v in sdg.proc_vertices[proc]
+        if sdg.vertices[v].kind == kind
+    ]
+
+
+def test_fig1_vertex_inventory():
+    """Fig. 3: p has entry, 2 formal-ins (a, b), 3 formal-outs (g1, g2,
+    g3), 3 statements; main has entry, 4 call vertices, etc."""
+    _p, _i, sdg = load_fig1()
+    assert len(vertices_by_kind(sdg, "p", VertexKind.FORMAL_IN)) == 2
+    assert len(vertices_by_kind(sdg, "p", VertexKind.FORMAL_OUT)) == 3
+    assert len(vertices_by_kind(sdg, "p", VertexKind.STATEMENT)) == 3
+    # main: 3 calls to p + the print call.
+    calls = vertices_by_kind(sdg, "main", VertexKind.CALL)
+    assert len(calls) == 4
+    # each p call site: 2 actual-ins (args; p reads no globals),
+    # 3 actual-outs (g1, g2, g3).
+    site = sdg.call_sites["C1"]
+    assert len(site.actual_ins) == 2
+    assert len(site.actual_outs) == 3
+
+
+def test_fig1_edge_shapes():
+    _p, _i, sdg = load_fig1()
+    # control: entry p -> statements
+    entry = sdg.entry_vertex["p"]
+    stmt_vids = [v.vid for v in vertices_by_kind(sdg, "p", VertexKind.STATEMENT)]
+    for vid in stmt_vids:
+        assert sdg.has_edge(entry, vid, CONTROL)
+    # flow: a_in -> g1 = a
+    a_in = sdg.formal_ins["p"][("param", 0)]
+    g1_assign = next(
+        v.vid for v in vertices_by_kind(sdg, "p", VertexKind.STATEMENT) if v.label == "g1 = a"
+    )
+    assert sdg.has_edge(a_in, g1_assign, FLOW)
+    # interprocedural edges at C1
+    site = sdg.call_sites["C1"]
+    assert sdg.has_edge(site.call_vertex, entry, CALL)
+    assert sdg.has_edge(site.actual_ins[("param", 0)], a_in, PARAM_IN)
+    g1_out = sdg.formal_outs["p"][("global", "g1")]
+    assert sdg.has_edge(g1_out, site.actual_outs[("global", "g1")], PARAM_OUT)
+
+
+def test_transitive_flow_through_callee():
+    """g2 = b; in p must flow to uses of g2 after the call in main, via
+    actual-in -> formal-in -> assignment -> formal-out -> actual-out."""
+    _p, _i, sdg = load_fig1()
+    site1 = sdg.call_sites["C1"]
+    ao_g2 = site1.actual_outs[("global", "g2")]
+    site2 = sdg.call_sites["C2"]
+    ai_g2_uses = [
+        vid
+        for role, vid in site2.actual_ins.items()
+        if sdg.vertices[vid].label == "g2"
+    ]
+    assert any(sdg.has_edge(ao_g2, vid, FLOW) for vid in ai_g2_uses)
+
+
+def test_actual_out_kills_prior_definition():
+    """g2 = 100 must NOT flow to uses after the first call (which
+    must-defines g2)."""
+    _p, _i, sdg = load_fig1()
+    g2_100 = next(
+        v.vid
+        for v in vertices_by_kind(sdg, "main", VertexKind.STATEMENT)
+        if v.label == "g2 = 100"
+    )
+    site2 = sdg.call_sites["C2"]
+    for role, vid in site2.actual_ins.items():
+        assert not sdg.has_edge(g2_100, vid, FLOW)
+    # but it does flow into the first call's actual-in g2
+    site1 = sdg.call_sites["C1"]
+    first_g2 = site1.actual_ins[("param", 0)]
+    assert sdg.has_edge(g2_100, first_g2, FLOW)
+
+
+def test_print_library_edges():
+    _p, _i, sdg = load_fig1()
+    print_vid = sdg.print_call_vertices()[0]
+    criterion = sdg.print_criterion([print_vid])
+    assert len(criterion) == 1
+    (ai,) = criterion
+    assert sdg.has_edge(ai, print_vid, LIBRARY)
+    assert sdg.has_edge(print_vid, ai, CONTROL)
+
+
+def test_param_vertices_control_dependent_on_call():
+    _p, _i, sdg = load_fig1()
+    site = sdg.call_sites["C1"]
+    for vid in list(site.actual_ins.values()) + list(site.actual_outs.values()):
+        assert sdg.has_edge(site.call_vertex, vid, CONTROL)
+
+
+def test_conditional_statement_control_dependence():
+    sdg = build(
+        """
+        int g;
+        int main() {
+          int c = input();
+          if (c > 0) { g = 1; }
+          print("%d", g);
+        }
+        """
+    )
+    pred = next(
+        v.vid for v in sdg.vertices.values() if v.kind == VertexKind.PREDICATE
+    )
+    assign = next(
+        v.vid for v in sdg.vertices.values() if v.label == "g = 1"
+    )
+    assert sdg.has_edge(pred, assign, CONTROL)
+
+
+def test_loop_predicate_self_dependence():
+    sdg = build(
+        """
+        int main() {
+          int i = 0;
+          while (i < 3) { i = i + 1; }
+          print("%d", i);
+        }
+        """
+    )
+    pred = next(
+        v.vid for v in sdg.vertices.values() if v.kind == VertexKind.PREDICATE
+    )
+    assert sdg.has_edge(pred, pred, CONTROL)
+    body = next(v.vid for v in sdg.vertices.values() if v.label == "i = i + 1")
+    # loop-carried flow dependence of the increment on itself
+    assert sdg.has_edge(body, body, FLOW)
+
+
+def test_return_value_flow():
+    sdg = build(
+        "int f(int a) { return a + 1; } int main() { int x = f(2); print(\"%d\", x); }"
+    )
+    ret_stmt = next(v.vid for v in sdg.vertices.values() if v.label == "return a + 1")
+    fo_ret = sdg.formal_outs["f"][("ret",)]
+    assert sdg.has_edge(ret_stmt, fo_ret, FLOW)
+    site = list(sdg.call_sites.values())[0]
+    assert sdg.has_edge(fo_ret, site.actual_outs[("ret",)], PARAM_OUT)
+
+
+def test_ref_param_round_trip():
+    sdg = build(
+        """
+        void bump(ref int x) { x = x + 1; }
+        int main() { int v = 1; bump(v); print("%d", v); }
+        """
+    )
+    fo = sdg.formal_outs["bump"][("param", 0)]
+    fi = sdg.formal_ins["bump"][("param", 0)]
+    assign = next(v.vid for v in sdg.vertices.values() if v.label == "x = x + 1")
+    assert sdg.has_edge(fi, assign, FLOW)
+    assert sdg.has_edge(assign, fo, FLOW)
+
+
+def test_input_chain_dependence():
+    """A later input() depends on an earlier one via $input."""
+    sdg = build(
+        """
+        int main() {
+          int a = input();
+          int b = input();
+          print("%d", b);
+        }
+        """
+    )
+    first = next(v.vid for v in sdg.vertices.values() if v.label == "int a = input()")
+    second = next(v.vid for v in sdg.vertices.values() if v.label == "int b = input()")
+    assert sdg.has_edge(first, second, FLOW)
+
+
+def test_vertex_and_edge_counts_are_stable():
+    _p, _i, sdg = load_fig1()
+    # p has exactly the paper's nine vertices p1-p9 (Fig. 3); main has
+    # 27 (the paper's m1-m23 minus the format-string vertex m22, plus
+    # its own ret formal-out and the vertices of "return 0;").
+    assert len([v for v in sdg.vertices.values() if v.proc == "p"]) == 9
+    assert sdg.vertex_count() == 36
+    assert sdg.edge_count() > 70

@@ -1,0 +1,175 @@
+"""Algorithm 1 end-to-end on the paper's figures: exact structural
+checks of Fig. 1(b) and Fig. 2(b)."""
+
+from repro.core import executable_program, specialization_slice
+from repro.fsa.ops import is_reverse_deterministic
+from repro.lang import ast_nodes as A
+from repro.lang import pretty
+from repro.lang.interp import run_program
+from repro.workloads.paper_figures import load_fig1, load_fig2
+
+
+def stmt_labels(sdg, spec):
+    return sorted(
+        sdg.vertices[v].label
+        for v in spec.orig_vertices
+        if sdg.vertices[v].kind == "statement"
+    )
+
+
+def test_fig1_two_specializations_of_p():
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    assert result.version_counts() == {"p": 2, "main": 1}
+
+    specs = result.specializations_of("p")
+    bodies = {tuple(stmt_labels(sdg, spec)) for spec in specs}
+    assert bodies == {("g2 = b",), ("g1 = a", "g2 = b")}
+
+
+def test_fig1_call_bindings():
+    """C1 and C3 bind to the one-parameter version; C2 to the
+    two-parameter version (Fig. 1(b))."""
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    main_spec = result.specializations_of("main")[0]
+    small = next(
+        s for s in result.specializations_of("p") if len(stmt_labels(sdg, s)) == 1
+    )
+    large = next(
+        s for s in result.specializations_of("p") if len(stmt_labels(sdg, s)) == 2
+    )
+    assert result.callee_name(main_spec, "C1") == small.name
+    assert result.callee_name(main_spec, "C2") == large.name
+    assert result.callee_name(main_spec, "C3") == small.name
+
+
+def test_fig1_parameter_lists():
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    executable = executable_program(result)
+    procs = {proc.name: proc for proc in executable.program.procs}
+    p_specs = result.specializations_of("p")
+    param_counts = sorted(len(procs[s.name].params) for s in p_specs)
+    assert param_counts == [1, 2]
+    one_param = next(s for s in p_specs if len(procs[s.name].params) == 1)
+    assert procs[one_param.name].params[0].name == "b"
+
+
+def test_fig1_semantics_preserved():
+    program, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    executable = executable_program(result)
+    original = run_program(program)
+    sliced = run_program(executable.program)
+    assert original.values == sliced.values == [5]
+
+
+def test_fig1_a6_is_mrd_and_language_preserved():
+    from repro.core.criteria import as_query_view
+    from repro.fsa import language_equal
+
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    assert is_reverse_deterministic(result.a6)
+    view = as_query_view(result.a1, result.encoding)
+    assert language_equal(view, result.a6)
+
+
+def test_fig1_no_elements_outside_closure():
+    """Soundness, Elems level: every vertex of R maps back to a closure
+    slice element."""
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    closure = result.closure_elems()
+    for new_vid, orig_vid in result.map_back_vertex.items():
+        assert orig_vid in closure
+
+
+def test_fig1_replication_count():
+    """|R| = |closure| + replicated elements: p_1/p_2 share entry, b_in,
+    g2 = b, g2_out."""
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    closure = result.closure_elems()
+    assert result.sdg.vertex_count() == len(closure) + 4
+
+
+def test_fig2_mutual_recursion():
+    program, _i, sdg = load_fig2()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    counts = result.version_counts()
+    assert counts == {"s": 2, "r": 2, "main": 1}
+
+    executable = executable_program(result)
+    text = pretty(executable.program)
+    procs = {proc.name: proc for proc in executable.program.procs}
+    r_specs = [s.name for s in result.specializations_of("r")]
+
+    # Each r_i calls the *other* r_j: direct recursion became mutual.
+    def called(proc):
+        names = set()
+        for stmt in A.walk_stmts(procs[proc].body):
+            for expr in A.stmt_exprs(stmt):
+                if isinstance(expr, A.CallExpr):
+                    names.add(expr.callee)
+        return names
+
+    r1, r2 = r_specs
+    assert r2 in called(r1) and r1 not in called(r1)
+    assert r1 in called(r2) and r2 not in called(r2)
+
+    # s split into a one-parameter 'a' version and a one-parameter 'b'
+    # version.
+    s_params = sorted(
+        procs[s.name].params[0].name for s in result.specializations_of("s")
+    )
+    assert s_params == ["a", "b"]
+
+    original = run_program(program)
+    sliced = run_program(executable.program)
+    assert original.values == sliced.values == [1]
+
+
+def test_fig2_r_variants_have_swapped_call_patterns():
+    _p, _i, sdg = load_fig2()
+    result = specialization_slice(sdg, sdg.print_criterion(), contexts="empty")
+    executable = executable_program(result)
+    procs = {proc.name: proc for proc in executable.program.procs}
+    r_specs = [s.name for s in result.specializations_of("r")]
+
+    def call_sequence(proc):
+        calls = []
+        for stmt in A.walk_stmts(procs[proc].body):
+            for expr in A.stmt_exprs(stmt):
+                if isinstance(expr, A.CallExpr):
+                    calls.append(expr.callee)
+        return calls
+
+    seq1 = call_sequence(r_specs[0])
+    seq2 = call_sequence(r_specs[1])
+    # Each makes three calls: s_x, r_other, s_y with x != y.
+    assert len(seq1) == len(seq2) == 3
+    assert seq1[0] != seq1[2]
+    assert seq2[0] != seq2[2]
+    # The two variants use the two s versions in opposite orders.
+    assert seq1[0] == seq2[2] and seq1[2] == seq2[0]
+
+
+def test_reachable_contexts_default_matches_empty_for_main_criterion():
+    """For criteria in main, 'reachable' and 'empty' contexts coincide."""
+    _p, _i, sdg = load_fig1()
+    criterion = sdg.print_criterion()
+    by_reachable = specialization_slice(sdg, criterion, contexts="reachable")
+    by_empty = specialization_slice(sdg, criterion, contexts="empty")
+    assert by_reachable.version_counts() == by_empty.version_counts()
+    assert by_reachable.sdg.vertex_count() == by_empty.sdg.vertex_count()
+
+
+def test_empty_criterion_gives_empty_slice():
+    _p, _i, sdg = load_fig1()
+    result = specialization_slice(sdg, [], contexts="empty")
+    assert result.sdg.vertex_count() == 0
+    assert result.version_counts() == {"p": 0, "main": 0}
+    executable = executable_program(result)
+    assert run_program(executable.program).values == []

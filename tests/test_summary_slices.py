@@ -1,0 +1,139 @@
+"""Summary-edge and closure-slicing tests against the paper's Eqn. (2)."""
+
+from repro.lang import check, parse
+from repro.sdg import (
+    SUMMARY,
+    VertexKind,
+    backward_closure_slice,
+    backward_reach,
+    build_sdg,
+    forward_closure_slice,
+)
+from repro.workloads.paper_figures import load_fig1, load_fig2
+
+
+def build(source):
+    program = parse(source)
+    info = check(program)
+    return build_sdg(program, info)
+
+
+def labels(sdg, vids, proc=None):
+    out = set()
+    for vid in vids:
+        vertex = sdg.vertices[vid]
+        if proc is None or vertex.proc == proc:
+            out.add((vertex.proc, vertex.kind, vertex.label))
+    return out
+
+
+def test_summary_edge_exists_for_flowthrough():
+    sdg = build(
+        "int id(int a) { return a; } int main() { int x = id(7); print(\"%d\", x); }"
+    )
+    site = list(sdg.call_sites.values())[0]
+    ai = site.actual_ins[("param", 0)]
+    ao = site.actual_outs[("ret",)]
+    assert sdg.has_edge(ai, ao, SUMMARY)
+
+
+def test_no_summary_edge_when_no_flow():
+    sdg = build(
+        "int ignore(int a) { return 0; } int main() { int x = ignore(7); print(\"%d\", x); }"
+    )
+    site = list(sdg.call_sites.values())[0]
+    ai = site.actual_ins[("param", 0)]
+    ao = site.actual_outs[("ret",)]
+    assert not sdg.has_edge(ai, ao, SUMMARY)
+
+
+def test_transitive_summary_through_two_levels():
+    sdg = build(
+        """
+        int inner(int a) { return a + 1; }
+        int outer(int b) { int r = inner(b); return r; }
+        int main() { int x = outer(3); print("%d", x); }
+        """
+    )
+    outer_site = next(s for s in sdg.call_sites.values() if s.callee == "outer")
+    assert sdg.has_edge(
+        outer_site.actual_ins[("param", 0)],
+        outer_site.actual_outs[("ret",)],
+        SUMMARY,
+    )
+
+
+def test_recursive_summary_edges_terminate():
+    _p, _i, sdg = load_fig2()
+    # r's call sites carry summaries from k to the globals it may mod.
+    r_sites = [s for s in sdg.call_sites.values() if s.callee == "r"]
+    assert r_sites  # computed without divergence
+
+
+def test_fig1_closure_slice_matches_eqn2():
+    """The closure slice of Fig. 1(a) w.r.t. the print's actuals is the
+    element set of Eqn. (2)."""
+    _p, _i, sdg = load_fig1()
+    slice_set = backward_closure_slice(sdg, sdg.print_criterion())
+    got = labels(sdg, slice_set, proc="p")
+    expected_p = {
+        ("p", VertexKind.ENTRY, "enter p"),
+        ("p", VertexKind.FORMAL_IN, "a_in"),
+        ("p", VertexKind.FORMAL_IN, "b_in"),
+        ("p", VertexKind.STATEMENT, "g1 = a"),
+        ("p", VertexKind.STATEMENT, "g2 = b"),
+        ("p", VertexKind.FORMAL_OUT, "g1_out"),
+        ("p", VertexKind.FORMAL_OUT, "g2_out"),
+    }
+    assert got == expected_p
+    # g2 = 100 and g3 = g2 excluded; 21 elements total (Eqn. 2).
+    assert len(slice_set) == 21
+
+
+def test_context_sensitivity_beats_plain_reachability():
+    """Context-insensitive backward reach must be a (strict, here)
+    superset of the HRB closure slice."""
+    _p, _i, sdg = load_fig1()
+    criterion = sdg.print_criterion()
+    closure = backward_closure_slice(sdg, criterion)
+    reach = backward_reach(sdg, criterion)
+    assert closure <= reach
+    assert closure != reach
+
+
+def test_forward_slice_basic():
+    sdg = build(
+        """
+        int g;
+        int main() {
+          g = 1;
+          int a = g + 1;
+          int b = 2;
+          print("%d %d", a, b);
+        }
+        """
+    )
+    seed = next(v.vid for v in sdg.vertices.values() if v.label == "g = 1")
+    forward = forward_closure_slice(sdg, [seed])
+    forward_labels = {sdg.vertices[v].label for v in forward}
+    assert "int a = g + 1" in forward_labels
+    assert "int b = 2" not in forward_labels
+
+
+def test_forward_slice_descends_into_callees():
+    sdg = build(
+        """
+        int g;
+        void use() { int x = g; print("%d", x); }
+        int main() { g = 5; use(); }
+        """
+    )
+    seed = next(v.vid for v in sdg.vertices.values() if v.label == "g = 5")
+    forward = forward_closure_slice(sdg, [seed])
+    forward_labels = {sdg.vertices[v].label for v in forward}
+    assert "int x = g" in forward_labels
+
+
+def test_slice_of_empty_criterion():
+    _p, _i, sdg = load_fig1()
+    assert backward_closure_slice(sdg, set()) == set()
