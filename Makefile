@@ -1,0 +1,28 @@
+# Developer entry points.  All targets run from the repo root; the
+# package is imported from src/ without installation.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke bench-smoke bench-full lint
+
+# The tier-1 gate: the full test + benchmark suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The fast subset (seconds, not minutes) for edit-run loops.
+smoke:
+	$(PYTHON) -m pytest -m smoke -q
+
+# Quick benchmark pass: QUICK_SUITE with capped slice counts.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks -x -q
+
+# The full §8 reproduction (much slower).
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks -x -q
+
+# No third-party linters in the container: syntax-check everything.
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m pytest --collect-only -q >/dev/null

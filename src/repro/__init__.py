@@ -11,9 +11,38 @@ conveniences most users want:
     import repro
     sliced = repro.slice_source(source)      # polyvariant slice, ready to run
     print(repro.pretty(sliced.program))
+
+Sessions — many criteria, one program
+-------------------------------------
+
+``slice_source`` re-runs the whole pipeline per call.  When a program is
+sliced repeatedly (a slicing service, the differential-testing harness,
+the §8 experiments), open a :class:`repro.engine.SlicingSession`
+instead:
+
+    session = repro.open_session(source)
+    results = session.slice_many([("print", 0), ("print", 1), vid_set])
+    runnable = session.executable(("print", 0))
+    session.stats                            # cache hit/miss counters
+
+The session builds the parse tree, SDG, and PDS encoding once, saturates
+``Poststar(entry_main)`` once, and memoizes Prestar saturations and
+slice results per *canonicalized* criterion — the cache key is the
+sorted criterion vertex tuple plus the contexts mode (or the structural
+automaton key / sorted configuration set for the other criterion forms;
+see :mod:`repro.engine.canonical`).  ``open_session`` itself caches
+sessions by a hash of the source text, so a mutated source always gets
+a fresh session and can never observe stale SDG or automaton results.
+``slice_many`` fans independent criteria out over a thread pool against
+the shared read-only encoding.  The batch CLI::
+
+    python -m repro slice-batch prog.tc --prints all --jobs 4
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+import hashlib
+import threading
 
 from repro.lang import check, parse, pretty
 from repro.lang.interp import run_program
@@ -31,6 +60,41 @@ def load_source(source):
         program, info = lower_indirect_calls(program, info)
     sdg = build_sdg(program, info)
     return program, info, sdg
+
+
+_session_lock = threading.Lock()
+_session_cache = {}  # sha256(source) -> SlicingSession, insertion-ordered
+_SESSION_CACHE_MAX = 32
+
+
+def open_session(source):
+    """Open (or return the cached) :class:`repro.engine.SlicingSession`
+    for ``source``.
+
+    Sessions are keyed by a hash of the source *text*: re-opening after
+    mutating the source yields a fresh session (no stale SDG/automaton
+    results), while re-opening with identical text reuses the loaded
+    program, SDG, encoding, and every memoized saturation and slice.
+    The cache keeps the most recent ``32`` programs (FIFO eviction).
+    """
+    from repro.engine import SlicingSession
+
+    key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    with _session_lock:
+        session = _session_cache.get(key)
+    if session is not None:
+        return session
+    session = SlicingSession(source)
+    with _session_lock:
+        # A concurrent opener may have won the race; keep its session so
+        # callers converge on one memo table.
+        existing = _session_cache.get(key)
+        if existing is not None:
+            return existing
+        while len(_session_cache) >= _SESSION_CACHE_MAX:
+            _session_cache.pop(next(iter(_session_cache)))
+        _session_cache[key] = session
+    return session
 
 
 def slice_source(source, print_index=None, contexts="reachable"):
@@ -71,16 +135,10 @@ def remove_feature_source(source, feature_text, clean=True):
     from repro.core import remove_feature
     from repro.core.cleanup import clean_feature_removal
     from repro.core.executable import executable_program
+    from repro.core.feature_removal import feature_seeds
 
     _program, _info, sdg = load_source(source)
-    seeds = {
-        vid
-        for vid, vertex in sdg.vertices.items()
-        if vertex.kind in ("statement", "call") and feature_text in vertex.label
-    }
-    if not seeds:
-        raise ValueError("no statement matches %r" % feature_text)
-    result = remove_feature(sdg, seeds)
+    result = remove_feature(sdg, feature_seeds(sdg, feature_text))
     if clean:
         _raw, cleaned = clean_feature_removal(result)
         cleaned.result = result
@@ -94,6 +152,7 @@ __all__ = [
     "__version__",
     "check",
     "load_source",
+    "open_session",
     "parse",
     "pretty",
     "remove_feature_source",

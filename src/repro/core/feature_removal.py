@@ -17,16 +17,29 @@ the feature, while shared helpers like ``add`` survive because their
 non-feature configurations remain.
 """
 
-from repro.core.criteria import (
-    as_query_view,
-    empty_stack_criterion,
-    reachable_configs_automaton,
-    reachable_contexts_criterion,
-)
+from repro.core.criteria import as_query_view, reachable_configs_automaton
 from repro.core.readout import read_out_sdg
-from repro.core.specialize import SpecializationResult
+from repro.core.specialize import SpecializationResult, resolve_criterion
 from repro.fsa import complement, determinize, intersection, mrd
 from repro.pds import encode_sdg, poststar
+
+
+def feature_seeds(sdg, feature_text):
+    """The statement/call vertices whose label contains
+    ``feature_text`` — the seed set for textual feature selection
+    (shared by ``repro remove``, :func:`repro.remove_feature_source`,
+    and :meth:`repro.engine.SlicingSession.remove_feature`).
+
+    Raises ValueError when nothing matches.
+    """
+    seeds = {
+        vid
+        for vid, vertex in sdg.vertices.items()
+        if vertex.kind in ("statement", "call") and feature_text in vertex.label
+    }
+    if not seeds:
+        raise ValueError("no statement matches %r" % feature_text)
+    return seeds
 
 
 def remove_feature(sdg, criterion, contexts="reachable"):
@@ -49,16 +62,7 @@ def remove_feature(sdg, criterion, contexts="reachable"):
     encoding = encode_sdg(sdg)
     result.encoding = encoding
 
-    if hasattr(criterion, "add_transition"):
-        a_c = criterion
-    else:
-        vids = sorted(criterion)
-        if contexts == "reachable":
-            a_c = reachable_contexts_criterion(encoding, vids)
-        elif contexts == "empty":
-            a_c = empty_stack_criterion(encoding, vids)
-        else:
-            raise ValueError("contexts must be 'reachable' or 'empty'")
+    a_c = resolve_criterion(encoding, criterion, contexts)
     result.criterion = a_c
 
     # Line 4: the feature's configurations.

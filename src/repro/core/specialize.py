@@ -89,19 +89,39 @@ class SpecializationResult(object):
         return self.pdgs[callee_state].name
 
 
-def specialization_slice(sdg, criterion, contexts="reachable"):
+def resolve_criterion(encoding, criterion, contexts="reachable"):
+    """Turn a criterion — a prepared query automaton or an iterable of
+    PDG vertex ids — into the query automaton ``A0``.
+
+    ``contexts`` completes a vertex set into a configuration language:
+    ``"reachable"`` slices from every realizable calling context of the
+    vertices (the wc/go style criterion); ``"empty"`` slices from the
+    vertices with the empty stack only (the Fig. 9 style criterion —
+    vertices must then be in ``main``).
+    """
+    if hasattr(criterion, "add_transition"):
+        return criterion
+    vids = sorted(criterion)
+    if contexts == "reachable":
+        return reachable_contexts_criterion(encoding, vids)
+    if contexts == "empty":
+        return empty_stack_criterion(encoding, vids)
+    raise ValueError("contexts must be 'reachable' or 'empty'")
+
+
+def specialization_slice(sdg, criterion, contexts="reachable", a1=None):
     """Run Algorithm 1.
 
     Args:
         sdg: the input :class:`SystemDependenceGraph`.
         criterion: either a prepared query automaton ``A0``, or an
             iterable of PDG vertex ids.
-        contexts: when ``criterion`` is a vertex set, how to complete it
-            into a configuration language: ``"reachable"`` slices from
-            every realizable calling context of the vertices (the wc/go
-            style criterion); ``"empty"`` slices from the vertices with
-            the empty stack only (the Fig. 9 style criterion — vertices
-            must then be in ``main``).
+        contexts: how to complete a vertex-set criterion (see
+            :func:`resolve_criterion`).
+        a1: an optional precomputed ``Prestar(A0)`` automaton (the
+            :class:`repro.engine.SlicingSession` memo passes this so a
+            repeated criterion skips re-saturation); must correspond to
+            ``criterion``.
 
     Returns:
         a :class:`SpecializationResult`.
@@ -113,20 +133,12 @@ def specialization_slice(sdg, criterion, contexts="reachable"):
     encoding = encode_sdg(sdg)
     result.encoding = encoding
 
-    if hasattr(criterion, "add_transition"):
-        a0 = criterion
-    else:
-        vids = sorted(criterion)
-        if contexts == "reachable":
-            a0 = reachable_contexts_criterion(encoding, vids)
-        elif contexts == "empty":
-            a0 = empty_stack_criterion(encoding, vids)
-        else:
-            raise ValueError("contexts must be 'reachable' or 'empty'")
+    a0 = resolve_criterion(encoding, criterion, contexts)
     result.criterion = a0
 
     t1 = time.perf_counter()
-    a1 = prestar(encoding.pds, a0)
+    if a1 is None:
+        a1 = prestar(encoding.pds, a0)
     result.a1 = a1
     t2 = time.perf_counter()
 

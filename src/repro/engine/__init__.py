@@ -1,0 +1,26 @@
+"""The batched slicing engine (load a program once, serve many criteria).
+
+* :mod:`repro.engine.session` — :class:`SlicingSession`: shared
+  parse/SDG/encoding/saturation, per-criterion memoization, and the
+  ``slice_many`` batch driver.
+* :mod:`repro.engine.canonical` — canonical cache keys for criterion
+  specs.
+
+Most users reach this through :func:`repro.open_session`.
+"""
+
+from repro.engine.canonical import (
+    PRINTS,
+    automaton_key,
+    canonical_key,
+    resolve_criterion_spec,
+)
+from repro.engine.session import SlicingSession
+
+__all__ = [
+    "PRINTS",
+    "SlicingSession",
+    "automaton_key",
+    "canonical_key",
+    "resolve_criterion_spec",
+]

@@ -1,0 +1,111 @@
+"""Canonicalization of slicing-criterion specifications.
+
+The session engine memoizes saturation and slice results *per
+criterion*, so every way of spelling the same criterion must map to the
+same hashable cache key.  A criterion spec is any of:
+
+* ``"prints"`` (or ``None``, or ``("print", None)``) — the actual
+  parameters of every ``print`` in the program (the default criterion
+  throughout the repo);
+* ``("print", i)`` — the actual parameters of the i-th print statement,
+  in program order;
+* an ``int`` vertex id, or an iterable of vertex ids — a vertex
+  criterion, completed into a configuration language by the session's
+  ``contexts`` mode;
+* an iterable of ``(vid, context)`` pairs — an explicit configuration
+  set (the bug-site criteria the §8 experiments use), where ``context``
+  is a tuple of call-site labels, top of stack first;
+* a prepared query automaton (anything with ``add_transition``) — keyed
+  structurally, so two automata with identical transitions share one
+  cache entry.
+
+``resolve_criterion_spec`` normalizes a spec into ``(kind, payload)``
+with hashable payload; ``canonical_key`` turns that into the cache key.
+"""
+
+PRINTS = "prints"
+
+#: kinds a spec normalizes to
+VERTICES = "vertices"
+CONFIGS = "configs"
+AUTOMATON = "automaton"
+
+
+def resolve_criterion_spec(sdg, criterion):
+    """Normalize a criterion spec against ``sdg``.
+
+    Returns ``(kind, payload)`` where ``kind`` is one of
+    :data:`VERTICES`, :data:`CONFIGS`, :data:`AUTOMATON` and ``payload``
+    is a hashable canonical form (sorted tuples; the automaton itself
+    for ``AUTOMATON``).
+    """
+    if criterion is None or (isinstance(criterion, str) and criterion == PRINTS):
+        return VERTICES, tuple(sorted(sdg.print_criterion()))
+    if isinstance(criterion, str):
+        # Catch typos like "print" before the generic-iterable fallback
+        # tries to unpack the string's characters.
+        raise ValueError(
+            "unknown criterion string %r (did you mean %r or ('print', i)?)"
+            % (criterion, PRINTS)
+        )
+    if hasattr(criterion, "add_transition"):
+        return AUTOMATON, criterion
+    if isinstance(criterion, int):
+        _require_vertices(sdg, (criterion,))
+        return VERTICES, (criterion,)
+    if (
+        isinstance(criterion, tuple)
+        and len(criterion) == 2
+        and criterion[0] == "print"
+    ):
+        index = criterion[1]
+        if index is None:
+            return VERTICES, tuple(sorted(sdg.print_criterion()))
+        prints = sdg.print_call_vertices()
+        if not 0 <= index < len(prints):
+            raise ValueError(
+                "print index %d out of range (program has %d prints)"
+                % (index, len(prints))
+            )
+        return VERTICES, tuple(sorted(sdg.print_criterion([prints[index]])))
+    items = list(criterion)
+    if all(isinstance(item, int) for item in items):
+        _require_vertices(sdg, items)
+        return VERTICES, tuple(sorted(set(items)))
+    configs = set()
+    for item in items:
+        vid, context = item
+        if not isinstance(vid, int):
+            raise ValueError("configuration criterion needs (vid, context) pairs")
+        configs.add((vid, tuple(context)))
+    _require_vertices(sdg, (vid for vid, _context in configs))
+    return CONFIGS, tuple(sorted(configs))
+
+
+def canonical_key(kind, payload, contexts):
+    """The memo key for a normalized criterion.
+
+    ``contexts`` only disambiguates vertex criteria (configuration-set
+    and automaton criteria already pin their contexts down).
+    """
+    if kind == AUTOMATON:
+        return (AUTOMATON,) + automaton_key(payload)
+    if kind == VERTICES:
+        return (VERTICES, payload, contexts)
+    return (CONFIGS, payload)
+
+
+def automaton_key(automaton):
+    """A structural key: two automata with the same states/transitions
+    canonicalize identically regardless of construction order."""
+    return (
+        frozenset(automaton.initials),
+        frozenset(automaton.finals),
+        frozenset(automaton.transitions()),
+    )
+
+
+def _require_vertices(sdg, vids):
+    for vid in vids:
+        if vid not in sdg.vertices:
+            raise ValueError("unknown SDG vertex id %r" % (vid,))

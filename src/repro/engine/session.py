@@ -1,0 +1,232 @@
+"""The batched slicing engine: one program, many criteria.
+
+Algorithm 1 is a pipeline whose front half (parse, check, SDG build,
+PDS encoding, and the Poststar reachable-configurations saturation) is
+criterion-independent; only Prestar, the MRD automaton operations, and
+the read-out depend on the query.  :class:`SlicingSession` loads a
+program once and serves arbitrarily many criteria against the shared
+front half:
+
+* the parsed program, semantic info, SDG, and :class:`SDGEncoding` are
+  built once at session creation;
+* ``Poststar(entry_main)`` — needed by every reachable-contexts
+  criterion, by feature removal, and by the reslicing check — is
+  saturated once and shared;
+* Prestar/Poststar saturations and full :class:`SpecializationResult`s
+  are memoized per canonicalized criterion (see
+  :mod:`repro.engine.canonical`), so resubmitting a criterion is a
+  dictionary lookup;
+* :meth:`SlicingSession.slice_many` fans independent criteria out over
+  a thread pool against the read-only encoding, deduplicating identical
+  criteria in flight via per-key futures.
+
+Sessions are thread-safe: the memo tables hold one future per key, so
+concurrent submissions of the same criterion compute it exactly once.
+"""
+
+import os
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.core.criteria import (
+    configs_criterion,
+    reachable_configs_automaton,
+)
+from repro.core.executable import executable_program
+from repro.core.specialize import resolve_criterion, specialization_slice
+from repro.engine.canonical import (
+    AUTOMATON,
+    CONFIGS,
+    PRINTS,
+    VERTICES,
+    canonical_key,
+    resolve_criterion_spec,
+)
+from repro.pds import encode_sdg, prestar
+
+
+class SlicingSession(object):
+    """A long-lived slicing engine over one program.
+
+    Construct from TinyC source (``SlicingSession(source)``) or from an
+    already-built SDG (``SlicingSession.for_sdg(sdg)``).  All query
+    methods are memoized and thread-safe.
+
+    Attributes:
+        source: the source text, or None when built from an SDG.
+        program / info / sdg / encoding: the shared front half.
+    """
+
+    def __init__(self, source=None, program=None, info=None, sdg=None):
+        t0 = time.perf_counter()
+        if source is not None:
+            import repro
+
+            program, info, sdg = repro.load_source(source)
+        if sdg is None:
+            raise ValueError("SlicingSession needs source text or an SDG")
+        self.source = source
+        self.program = program if program is not None else sdg.program
+        self.info = info if info is not None else sdg.info
+        self.sdg = sdg
+        self.encoding = encode_sdg(sdg)
+        self._lock = threading.Lock()
+        self._futures = {}  # (cache kind, criterion key) -> Future
+        self._stats = {
+            "load_seconds": time.perf_counter() - t0,
+            "slice_hits": 0,
+            "slice_misses": 0,
+            "saturation_hits": 0,
+            "saturation_misses": 0,
+            "feature_hits": 0,
+            "feature_misses": 0,
+            "executable_hits": 0,
+            "executable_misses": 0,
+        }
+
+    @classmethod
+    def for_sdg(cls, sdg):
+        """The session for an already-built SDG, cached on the SDG
+        itself (the :func:`repro.pds.encode_sdg` idiom) so repeated
+        analyses of one graph share saturations."""
+        session = getattr(sdg, "_slicing_session", None)
+        if session is None:
+            session = cls(sdg=sdg)
+            sdg._slicing_session = session
+        return session
+
+    # -- queries ---------------------------------------------------------------
+
+    def slice(self, criterion=PRINTS, contexts="reachable"):
+        """Algorithm 1 for one criterion; memoized.
+
+        ``criterion`` accepts every spec form described in
+        :mod:`repro.engine.canonical`; ``contexts`` completes vertex
+        criteria (``"reachable"`` or ``"empty"``).
+        """
+        kind, payload = resolve_criterion_spec(self.sdg, criterion)
+        return self._slice_resolved(kind, payload, contexts)
+
+    def _slice_resolved(self, kind, payload, contexts):
+        key = canonical_key(kind, payload, contexts)
+
+        def compute():
+            a0 = self._query_automaton(kind, payload, contexts)
+            # The saturation is memoized one layer below the result so
+            # that a failure later in the pipeline (MRD/read-out) evicts
+            # the result entry but keeps the saturation for the retry.
+            a1 = self._memoized(
+                "saturation",
+                ("prestar", key),
+                lambda: prestar(self.encoding.pds, a0),
+            )
+            return specialization_slice(self.sdg, a0, contexts=contexts, a1=a1)
+
+        return self._memoized("slice", key, compute)
+
+    def slice_many(self, criteria, contexts="reachable", max_workers=None):
+        """The batch driver: slice each criterion, fanning independent
+        queries out over a thread pool with the shared read-only
+        encoding.  Duplicate criteria are computed once (per-key
+        futures).  Returns results in input order."""
+        criteria = list(criteria)
+        if not criteria:
+            return []
+        # Resolve each spec exactly once, up front: specs may be one-
+        # shot iterables, and early validation beats a worker traceback.
+        specs = [resolve_criterion_spec(self.sdg, c) for c in criteria]
+        if max_workers is None:
+            max_workers = min(len(criteria), os.cpu_count() or 1)
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(self._slice_resolved, kind, payload, contexts)
+                for kind, payload in specs
+            ]
+        return [future.result() for future in futures]
+
+    def executable(self, criterion=PRINTS, contexts="reachable"):
+        """The runnable :class:`ExecutableSlice` for a criterion;
+        memoized on top of :meth:`slice`.  The slice's
+        :class:`SpecializationResult` rides along as ``.result``."""
+        kind, payload = resolve_criterion_spec(self.sdg, criterion)
+        result = self._slice_resolved(kind, payload, contexts)
+        key = canonical_key(kind, payload, contexts)
+
+        def compute():
+            executable = executable_program(result)
+            executable.result = result
+            return executable
+
+        return self._memoized("executable", key, compute)
+
+    def remove_feature(self, feature, contexts="reachable"):
+        """Algorithm 2 through the session: ``feature`` is either a
+        label substring (as in ``repro remove --feature``) or any
+        criterion spec; memoized like :meth:`slice`."""
+        from repro.core.feature_removal import feature_seeds, remove_feature
+
+        if isinstance(feature, str):
+            kind, payload = VERTICES, tuple(sorted(feature_seeds(self.sdg, feature)))
+        else:
+            kind, payload = resolve_criterion_spec(self.sdg, feature)
+        key = canonical_key(kind, payload, contexts)
+
+        def compute():
+            a_c = self._query_automaton(kind, payload, contexts)
+            return remove_feature(self.sdg, a_c)
+
+        return self._memoized("feature", key, compute)
+
+    def reachable_configs(self):
+        """The shared ``Poststar(entry_main)`` saturation (computed at
+        most once per session)."""
+        return self._memoized(
+            "saturation",
+            ("reachable-configs",),
+            lambda: reachable_configs_automaton(self.encoding),
+        )
+
+    @property
+    def stats(self):
+        """A snapshot of cache/timing counters (hit and miss counts per
+        memo table, ``load_seconds`` for the front half)."""
+        with self._lock:
+            return dict(self._stats)
+
+    # -- internals -------------------------------------------------------------
+
+    def _query_automaton(self, kind, payload, contexts):
+        if kind == AUTOMATON:
+            return payload
+        if kind == CONFIGS:
+            return configs_criterion(self.encoding, payload)
+        if contexts == "reachable":
+            self.reachable_configs()
+        return resolve_criterion(self.encoding, payload, contexts)
+
+    def _memoized(self, cache_kind, key, compute):
+        """One-future-per-key memoization: the first submitter computes,
+        concurrent duplicates block on the same future, and failures are
+        evicted so a later retry can succeed."""
+        full_key = (cache_kind, key)
+        with self._lock:
+            future = self._futures.get(full_key)
+            owner = future is None
+            if owner:
+                future = Future()
+                self._futures[full_key] = future
+                self._stats[cache_kind + "_misses"] += 1
+            else:
+                self._stats[cache_kind + "_hits"] += 1
+        if not owner:
+            return future.result()
+        try:
+            value = compute()
+        except BaseException as exc:
+            with self._lock:
+                self._futures.pop(full_key, None)
+            future.set_exception(exc)
+            raise
+        future.set_result(value)
+        return value

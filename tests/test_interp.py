@@ -6,6 +6,9 @@ from repro.lang import check, parse
 from repro.lang.interp import ExecutionLimitExceeded, Interpreter, run_program
 
 
+pytestmark = pytest.mark.smoke
+
+
 def run(source, inputs=(), max_steps=100_000):
     program = parse(source)
     check(program)

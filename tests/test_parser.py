@@ -7,6 +7,9 @@ from repro.lang.errors import ParseError
 from repro.lang.parser import parse
 
 
+pytestmark = pytest.mark.smoke
+
+
 def first_stmt(source_body):
     program = parse("int main() { %s }" % source_body)
     return program.proc("main").body.stmts[0]

@@ -3,11 +3,15 @@ cross-checked against brute-force configuration-space exploration."""
 
 from collections import deque
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fsa import FiniteAutomaton
 from repro.pds import PushdownSystem, poststar, prestar
+
+
+pytestmark = pytest.mark.smoke
 
 
 def test_rule_classification():

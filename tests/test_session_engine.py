@@ -1,0 +1,219 @@
+"""Tests for the batched slicing engine (:mod:`repro.engine`)."""
+
+import pytest
+
+import repro
+from repro.core import remove_feature, specialization_slice
+from repro.engine import SlicingSession, canonical_key, resolve_criterion_spec
+from repro.workloads.paper_figures import FIG1_SOURCE, FIG16_SOURCE
+
+pytestmark = pytest.mark.smoke
+
+
+# -- open_session caching and invalidation ----------------------------------------
+
+
+def test_open_session_reuses_identical_source():
+    first = repro.open_session(FIG1_SOURCE)
+    second = repro.open_session(FIG1_SOURCE)
+    assert first is second
+
+
+def test_mutated_source_gets_fresh_session():
+    """Satellite requirement: mutating the source and re-opening must
+    not serve stale SDG/automaton results."""
+    # p(g2, 3) is live for the criterion print (b flows to g2); mutate it.
+    mutated = FIG1_SOURCE.replace("p(g2, 3)", "p(g2, 33)")
+    assert mutated != FIG1_SOURCE
+    stale = repro.open_session(FIG1_SOURCE)
+    stale_text = repro.pretty(stale.executable().program)
+    fresh = repro.open_session(mutated)
+    assert fresh is not stale
+    assert fresh.sdg is not stale.sdg
+    fresh_text = repro.pretty(fresh.executable().program)
+    assert "33" in fresh_text
+    assert "33" not in stale_text
+    # 2 + 33 at the final call site; the stale session still prints 5.
+    assert repro.run_program(fresh.executable().program).values == [35]
+    assert repro.run_program(stale.executable().program).values == [5]
+    # The original session still answers for the original source.
+    assert repro.open_session(FIG1_SOURCE) is stale
+
+
+def test_session_cache_is_bounded():
+    cache_max = repro._SESSION_CACHE_MAX
+    for index in range(cache_max + 4):
+        repro.open_session("int main() { print(\"%%d\", %d); return 0; }" % index)
+    assert len(repro._session_cache) <= cache_max
+
+
+# -- criterion memoization ---------------------------------------------------------
+
+
+def test_identical_criteria_hit_the_memo():
+    session = SlicingSession(FIG1_SOURCE)
+    first = session.slice()
+    stats = session.stats
+    assert stats["slice_misses"] == 1 and stats["slice_hits"] == 0
+    second = session.slice("prints")
+    third = session.slice(("print", None))
+    assert second is first and third is first
+    stats = session.stats
+    assert stats["slice_misses"] == 1 and stats["slice_hits"] == 2
+
+
+def test_vertex_spelling_variants_share_one_entry():
+    session = SlicingSession(FIG1_SOURCE)
+    vids = sorted(session.sdg.print_criterion())
+    results = {
+        id(session.slice(tuple(vids))),
+        id(session.slice(list(reversed(vids)))),
+        id(session.slice(set(vids))),
+    }
+    assert len(results) == 1
+    assert session.stats["slice_misses"] == 1
+
+
+def test_contexts_mode_distinguishes_criteria():
+    session = SlicingSession(FIG1_SOURCE)
+    vids = sorted(session.sdg.print_criterion())
+    reachable = session.slice(vids, contexts="reachable")
+    empty = session.slice(vids, contexts="empty")
+    assert reachable is not empty
+    assert session.stats["slice_misses"] == 2
+
+
+def test_prestar_saturation_memoized_separately():
+    session = SlicingSession(FIG1_SOURCE)
+    session.slice()
+    stats = session.stats
+    # reachable-configs (shared) + one per-criterion Prestar.
+    assert stats["saturation_misses"] == 2
+    session.slice(("print", 0))  # same single print -> same vertex set
+    assert session.stats["saturation_misses"] == 2
+
+
+def test_slice_many_dedupes_and_preserves_order():
+    session = SlicingSession(FIG1_SOURCE)
+    results = session.slice_many([("print", 0), "prints", ("print", 0)])
+    assert len(results) == 3
+    assert results[0] is results[2]
+    # FIG1 has a single print, so all three specs canonicalize equally.
+    assert results[0] is results[1]
+    assert session.stats["slice_misses"] == 1
+
+
+def test_session_matches_one_shot_pipeline():
+    session = SlicingSession(FIG1_SOURCE)
+    via_session = session.executable()
+    one_shot = repro.slice_source(FIG1_SOURCE)
+    assert repro.pretty(via_session.program) == repro.pretty(one_shot.program)
+    assert repro.run_program(via_session.program).values == [5]
+    direct = specialization_slice(session.sdg, session.sdg.print_criterion())
+    assert via_session.result.closure_elems() == direct.closure_elems()
+    assert via_session.result.version_counts() == direct.version_counts()
+
+
+def test_executable_memoized():
+    session = SlicingSession(FIG1_SOURCE)
+    assert session.executable() is session.executable("prints")
+    stats = session.stats
+    assert stats["executable_misses"] == 1 and stats["executable_hits"] == 1
+
+
+def test_configs_criterion_spec():
+    """Explicit configuration criteria (the §8 bug-site style) go
+    through the same memo."""
+    session = SlicingSession(FIG1_SOURCE)
+    vids = sorted(session.sdg.print_criterion())
+    configs = [(vid, ()) for vid in vids]  # criterion prints live in main
+    result = session.slice(configs)
+    again = session.slice(tuple(reversed(configs)))
+    assert again is result
+    empty_ctx = session.slice(vids, contexts="empty")
+    assert result.closure_elems() == empty_ctx.closure_elems()
+
+
+def test_automaton_criterion_keyed_structurally():
+    from repro.core.criteria import empty_stack_criterion
+
+    session = SlicingSession(FIG1_SOURCE)
+    vids = sorted(session.sdg.print_criterion())
+    first = session.slice(empty_stack_criterion(session.encoding, vids))
+    second = session.slice(empty_stack_criterion(session.encoding, vids))
+    assert first is second
+    assert session.stats["slice_misses"] == 1
+
+
+def test_one_shot_iterable_criteria():
+    """Generator criteria must be resolved exactly once — never drained
+    by a pre-scan and then re-read as empty."""
+    session = SlicingSession(FIG1_SOURCE)
+    vids = sorted(session.sdg.print_criterion())
+    from_generator = session.slice_many([iter(vids)])[0]
+    assert from_generator is session.slice(vids)
+    assert set(from_generator.map_back_vertex.values())  # not the empty slice
+    via_executable = session.executable(iter(vids))
+    assert via_executable.result is from_generator
+
+
+def test_unknown_criterion_string_is_rejected():
+    session = SlicingSession(FIG1_SOURCE)
+    with pytest.raises(ValueError, match="unknown criterion string"):
+        session.slice("print")  # the easy typo for "prints"
+
+
+def test_criterion_validation():
+    session = SlicingSession(FIG1_SOURCE)
+    with pytest.raises(ValueError):
+        session.slice(("print", 99))
+    with pytest.raises(ValueError):
+        session.slice([10**9])  # unknown vertex id
+    with pytest.raises(ValueError):
+        session.slice(session.sdg.print_criterion(), contexts="bogus")
+    # A failed computation must not poison the memo.
+    assert session.stats["slice_misses"] == 1
+    session.slice()
+
+
+def test_session_remove_feature_matches_module_function():
+    session = SlicingSession(FIG16_SOURCE)
+    via_session = session.remove_feature("int prod = 1")
+    assert session.remove_feature("int prod = 1") is via_session
+    seeds = {
+        vid
+        for vid, vertex in session.sdg.vertices.items()
+        if vertex.kind in ("statement", "call") and "int prod = 1" in vertex.label
+    }
+    direct = remove_feature(session.sdg, seeds)
+    assert via_session.sdg.vertex_count() == direct.sdg.vertex_count()
+    with pytest.raises(ValueError):
+        session.remove_feature("no such statement text")
+
+
+def test_for_sdg_shares_one_session():
+    _program, _info, sdg = repro.load_source(FIG1_SOURCE)
+    first = SlicingSession.for_sdg(sdg)
+    second = SlicingSession.for_sdg(sdg)
+    assert first is second
+    assert first.sdg is sdg
+
+
+# -- canonicalization unit checks -------------------------------------------------
+
+
+def test_canonical_key_forms():
+    _program, _info, sdg = repro.load_source(FIG1_SOURCE)
+    all_prints = resolve_criterion_spec(sdg, "prints")
+    assert all_prints == resolve_criterion_spec(sdg, None)
+    assert all_prints == resolve_criterion_spec(sdg, ("print", None))
+    kind, payload = all_prints
+    assert kind == "vertices" and payload == tuple(sorted(sdg.print_criterion()))
+    assert canonical_key(kind, payload, "reachable") != canonical_key(
+        kind, payload, "empty"
+    )
+    single_vid = payload[0]
+    assert resolve_criterion_spec(sdg, single_vid) == (
+        "vertices",
+        (single_vid,),
+    )

@@ -6,6 +6,9 @@ import repro
 from repro.workloads.paper_figures import FIG1_SOURCE, FIG16_SOURCE
 
 
+pytestmark = pytest.mark.smoke
+
+
 def test_version():
     assert repro.__version__
 
