@@ -34,14 +34,27 @@ see :mod:`repro.engine.canonical`).  ``open_session`` itself caches
 sessions by a hash of the source text, so a mutated source always gets
 a fresh session and can never observe stale SDG or automaton results.
 ``slice_many`` fans independent criteria out over a thread pool against
-the shared read-only encoding.  The batch CLI::
+the shared read-only encoding, or over a process pool with
+``backend="process"``.  The batch CLI::
 
     python -m repro slice-batch prog.tc --prints all --jobs 4
+
+The persistent store — across processes and restarts
+----------------------------------------------------
+
+Pass ``cache_dir`` to keep the cache on disk (see :mod:`repro.store`):
+
+    session = repro.open_session(source, cache_dir="~/.cache/repro")
+
+A warm store hands a fresh process the parsed program, SDG, and PDS
+encoding by unpickling one file, and answers repeated criteria without
+any saturation work; entries are checksummed, versioned, written
+atomically, and LRU-capped.  ``repro cache stats`` / ``repro cache
+clear`` manage it from the command line.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-import hashlib
 import threading
 
 from repro.lang import check, parse, pretty
@@ -63,11 +76,11 @@ def load_source(source):
 
 
 _session_lock = threading.Lock()
-_session_cache = {}  # sha256(source) -> SlicingSession, insertion-ordered
+_session_cache = {}  # (sha256(source), cache dir) -> SlicingSession, insertion-ordered
 _SESSION_CACHE_MAX = 32
 
 
-def open_session(source):
+def open_session(source, cache_dir=None):
     """Open (or return the cached) :class:`repro.engine.SlicingSession`
     for ``source``.
 
@@ -76,15 +89,24 @@ def open_session(source):
     results), while re-opening with identical text reuses the loaded
     program, SDG, encoding, and every memoized saturation and slice.
     The cache keeps the most recent ``32`` programs (FIFO eviction).
+
+    With ``cache_dir``, the session is backed by the persistent
+    :class:`repro.store.SliceStore` there: the front half is loaded
+    from disk when warm and slice results survive process restarts.
     """
     from repro.engine import SlicingSession
+    from repro.store import SliceStore, source_hash
 
-    key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    store = SliceStore(cache_dir) if cache_dir is not None else None
+    # One hash implementation for the in-memory session cache and the
+    # on-disk store (repro.store.source_hash), so the two layers can
+    # never disagree about which sources are "the same program".
+    key = (source_hash(source), store.cache_dir if store is not None else None)
     with _session_lock:
         session = _session_cache.get(key)
     if session is not None:
         return session
-    session = SlicingSession(source)
+    session = SlicingSession(source, store=store)
     with _session_lock:
         # A concurrent opener may have won the race; keep its session so
         # callers converge on one memo table.
@@ -130,19 +152,19 @@ def remove_feature_source(source, feature_text, clean=True):
     statements whose label contains ``feature_text``; optionally run
     the §7 useless-code-elimination post-pass.
 
+    Routed through :func:`open_session`, so both the removal and the
+    cleanup pass are memoized (and persisted, when the session has a
+    store) — repeating a removal is a cache lookup.
+
     Returns an :class:`ExecutableSlice`.
     """
-    from repro.core import remove_feature
-    from repro.core.cleanup import clean_feature_removal
     from repro.core.executable import executable_program
-    from repro.core.feature_removal import feature_seeds
 
-    _program, _info, sdg = load_source(source)
-    result = remove_feature(sdg, feature_seeds(sdg, feature_text))
+    session = open_session(source)
     if clean:
-        _raw, cleaned = clean_feature_removal(result)
-        cleaned.result = result
+        _raw, cleaned = session.remove_feature_cleaned(feature_text)
         return cleaned
+    result = session.remove_feature(feature_text)
     executable = executable_program(result)
     executable.result = result
     return executable

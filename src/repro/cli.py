@@ -10,7 +10,13 @@ Commands:
   once, slice w.r.t. each requested print statement (``--prints
   0,2,5`` or ``--prints all``) through a shared
   :class:`repro.engine.SlicingSession`, fanning out over ``--jobs``
-  worker threads, and report per-criterion sizes plus cache stats.
+  workers (``--backend thread`` or ``process``), and report
+  per-criterion sizes plus cache stats.  ``--cache-dir DIR`` backs the
+  session with the persistent on-disk store, so re-running the batch
+  in a new process answers from disk.
+* ``cache``     — manage the persistent store: ``cache stats`` and
+  ``cache clear`` (both honor ``--cache-dir``, default
+  ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 * ``mono``      — the same criterion, Binkley's monovariant slice.
 * ``remove``    — feature removal from a statement matched by
   ``--feature TEXT`` (substring of the statement's label).
@@ -102,7 +108,7 @@ def cmd_slice_batch(args):
         source = handle.read()
     if args.jobs is not None and args.jobs < 1:
         raise SystemExit("error: --jobs must be at least 1")
-    session = repro.open_session(source)
+    session = repro.open_session(source, cache_dir=args.cache_dir)
     prints = session.sdg.print_call_vertices()
     if not prints:
         raise SystemExit("error: the program has no print statements")
@@ -117,7 +123,9 @@ def cmd_slice_batch(args):
     t0 = time.perf_counter()
     try:
         # Range validation lives in the engine's criterion resolution.
-        results = session.slice_many(criteria, max_workers=args.jobs)
+        results = session.slice_many(
+            criteria, max_workers=args.jobs, backend=args.backend
+        )
     except ValueError as exc:
         raise SystemExit("error: %s" % exc)
     elapsed = time.perf_counter() - t0
@@ -141,7 +149,38 @@ def cmd_slice_batch(args):
             stats["slice_misses"],
         )
     )
+    if session.store is not None:
+        lines.append(
+            "store: %s (front half %s; persist hits/misses %d/%d)"
+            % (
+                session.store.cache_dir,
+                "warm" if stats["front_half_from_store"] else "cold",
+                stats["persist_hits"],
+                stats["persist_misses"],
+            )
+        )
     return "\n".join(lines)
+
+
+def cmd_cache(args):
+    from repro.store import open_store
+
+    store = open_store(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        lines = [
+            "cache dir:    %s" % stats["cache_dir"],
+            "version:      %d" % stats["version"],
+            "programs:     %d" % stats["programs"],
+            "entries:      %d" % stats["entries"],
+            "total bytes:  %d" % stats["total_bytes"],
+            "size cap:     %d" % stats["max_bytes"],
+        ]
+        for table in sorted(stats["tables"]):
+            lines.append("  %-13s %d" % (table, stats["tables"][table]))
+        return "\n".join(lines)
+    removed = store.clear()
+    return "removed %d entries from %s" % (removed, store.cache_dir)
 
 
 def cmd_mono(args):
@@ -215,7 +254,27 @@ def build_parser():
         help="comma-separated print indices, or 'all' (default)",
     )
     p_batch.add_argument("--jobs", type=int, default=None)
+    p_batch.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool kind (process = true CPU parallelism)",
+    )
+    p_batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="back the session with the persistent slice store at DIR",
+    )
     p_batch.set_defaults(func=cmd_slice_batch)
+
+    p_cache = sub.add_parser("cache", help="manage the persistent slice store")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser("stats", help="store shape and counters")
+    p_cache_stats.add_argument("--cache-dir", default=None)
+    p_cache_stats.set_defaults(func=cmd_cache)
+    p_cache_clear = cache_sub.add_parser("clear", help="delete every entry")
+    p_cache_clear.add_argument("--cache-dir", default=None)
+    p_cache_clear.set_defaults(func=cmd_cache)
 
     p_mono = sub.add_parser("mono", help="monovariant (Binkley) slice")
     p_mono.add_argument("file")

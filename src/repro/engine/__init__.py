@@ -1,10 +1,13 @@
 """The batched slicing engine (load a program once, serve many criteria).
 
 * :mod:`repro.engine.session` — :class:`SlicingSession`: shared
-  parse/SDG/encoding/saturation, per-criterion memoization, and the
-  ``slice_many`` batch driver.
+  parse/SDG/encoding/saturation, per-criterion memoization, optional
+  persistent-store backing, and the ``slice_many`` batch driver with
+  thread and process backends.
 * :mod:`repro.engine.canonical` — canonical cache keys for criterion
-  specs.
+  specs, plus the stable digests the on-disk store names entries by.
+* :mod:`repro.engine.parallel` — :func:`slice_many_programs`, the
+  multi-program batch driver (one worker per program).
 
 Most users reach this through :func:`repro.open_session`.
 """
@@ -13,8 +16,11 @@ from repro.engine.canonical import (
     PRINTS,
     automaton_key,
     canonical_key,
+    is_stable_key,
     resolve_criterion_spec,
+    stable_key_digest,
 )
+from repro.engine.parallel import slice_many_programs
 from repro.engine.session import SlicingSession
 
 __all__ = [
@@ -22,5 +28,8 @@ __all__ = [
     "SlicingSession",
     "automaton_key",
     "canonical_key",
+    "is_stable_key",
     "resolve_criterion_spec",
+    "slice_many_programs",
+    "stable_key_digest",
 ]

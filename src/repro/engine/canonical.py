@@ -20,8 +20,13 @@ same hashable cache key.  A criterion spec is any of:
   cache entry.
 
 ``resolve_criterion_spec`` normalizes a spec into ``(kind, payload)``
-with hashable payload; ``canonical_key`` turns that into the cache key.
+with hashable payload; ``canonical_key`` turns that into the cache key;
+``stable_key_digest`` turns a cache key into a deterministic hex digest
+that is stable across processes and interpreter runs, which is what the
+persistent :class:`repro.store.SliceStore` files are named by.
 """
+
+import hashlib
 
 PRINTS = "prints"
 
@@ -103,6 +108,42 @@ def automaton_key(automaton):
         frozenset(automaton.finals),
         frozenset(automaton.transitions()),
     )
+
+
+def stable_key_digest(key):
+    """A process-independent sha256 hex digest of a canonical cache key.
+
+    In-memory memo keys are plain hashable tuples, but Python's ``hash``
+    is salted per interpreter run, so the on-disk store needs its own
+    deterministic serialization.  Frozensets (the automaton-key case)
+    are ordered by the stable rendering of their elements; everything
+    else in a canonical key (ints, strings, None, nested tuples)
+    already has a deterministic ``repr``.
+    """
+    return hashlib.sha256(_stable_render(key).encode("utf-8")).hexdigest()
+
+
+def is_stable_key(key):
+    """Whether a canonical key has a process-independent rendering.
+
+    Vertex and configuration keys are built from ints and strings and
+    always qualify.  Automaton keys qualify when every state and symbol
+    is itself renderable — a user automaton whose states are arbitrary
+    objects (default ``repr`` includes a memory address) is memoizable
+    in process but must not be persisted, since its digest would not
+    survive, or could collide across, interpreter runs.
+    """
+    if isinstance(key, (frozenset, set, tuple, list)):
+        return all(is_stable_key(item) for item in key)
+    return key is None or isinstance(key, (int, float, str, bytes, bool))
+
+
+def _stable_render(value):
+    if isinstance(value, (frozenset, set)):
+        return "{%s}" % ",".join(sorted(_stable_render(item) for item in value))
+    if isinstance(value, tuple):
+        return "(%s)" % ",".join(_stable_render(item) for item in value)
+    return repr(value)
 
 
 def _require_vertices(sdg, vids):

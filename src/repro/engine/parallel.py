@@ -1,0 +1,71 @@
+"""Multi-program batch slicing: one worker per program.
+
+:meth:`SlicingSession.slice_many` parallelizes criteria *within* one
+program; this module parallelizes *across* programs — the corpus-
+inspection shape (run every criterion of every file in a project)
+where process-level parallelism pays off most, because the per-program
+front half and saturations are completely independent and the GIL is
+the only thing serializing them on the thread backend.
+
+``slice_many_programs`` takes ``(source, criteria)`` jobs and returns
+one result list per job, in order.  With ``cache_dir`` set, every
+worker — thread or process — reads and writes the shared persistent
+:class:`repro.store.SliceStore`, so a warm corpus batch is answered
+from disk without any saturation work.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.engine.session import SlicingSession
+
+
+def slice_many_programs(
+    jobs, contexts="reachable", backend="thread", max_workers=None, cache_dir=None
+):
+    """Slice a batch of programs.
+
+    Args:
+        jobs: iterable of ``(source, criteria)`` pairs — TinyC source
+            text plus the criterion specs to slice it by (any spec form
+            :mod:`repro.engine.canonical` accepts, as long as it
+            pickles for the process backend; ``("print", i)`` tuples
+            and vertex-id tuples are the usual shapes).
+        contexts: completes vertex criteria (``"reachable"``/``"empty"``).
+        backend: ``"thread"`` or ``"process"`` — what kind of worker
+            handles each program.
+        max_workers: pool size (default: ``min(len(jobs), cpu_count)``).
+        cache_dir: optional persistent-store directory shared by all
+            workers.
+
+    Returns:
+        a list of lists of :class:`SpecializationResult`, one inner
+        list per job, in input order.
+    """
+    jobs = [(source, list(criteria)) for source, criteria in jobs]
+    if not jobs:
+        return []
+    if backend not in ("thread", "process"):
+        raise ValueError("backend must be 'thread' or 'process'")
+    if max_workers is None:
+        max_workers = min(len(jobs), os.cpu_count() or 1)
+    pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+    with pool_cls(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(_slice_one_program, source, criteria, contexts, cache_dir)
+            for source, criteria in jobs
+        ]
+    return [future.result() for future in futures]
+
+
+def _slice_one_program(source, criteria, contexts, cache_dir):
+    """One worker's whole job: build or store-load the session, then
+    slice every criterion sequentially (the parallelism is across
+    programs, not within one)."""
+    store = None
+    if cache_dir is not None:
+        from repro.store import SliceStore
+
+        store = SliceStore(cache_dir)
+    session = SlicingSession(source, store=store)
+    return [session.slice(criterion, contexts=contexts) for criterion in criteria]

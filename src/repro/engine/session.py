@@ -8,17 +8,24 @@ program once and serves arbitrarily many criteria against the shared
 front half:
 
 * the parsed program, semantic info, SDG, and :class:`SDGEncoding` are
-  built once at session creation;
+  built once at session creation — or loaded from the persistent
+  :class:`repro.store.SliceStore` when one is attached and warm;
 * ``Poststar(entry_main)`` — needed by every reachable-contexts
   criterion, by feature removal, and by the reslicing check — is
   saturated once and shared;
-* Prestar/Poststar saturations and full :class:`SpecializationResult`s
-  are memoized per canonicalized criterion (see
-  :mod:`repro.engine.canonical`), so resubmitting a criterion is a
-  dictionary lookup;
+* Prestar/Poststar saturations, full :class:`SpecializationResult`s,
+  feature removals, and the §7 cleanup pass are memoized per
+  canonicalized criterion (see :mod:`repro.engine.canonical`), so
+  resubmitting a criterion is a dictionary lookup;
+* with a store attached, slice / feature / cleanup results are *also*
+  persisted on disk under the same canonical keys (digested by
+  :func:`repro.engine.canonical.stable_key_digest`), so a fresh process
+  answering a repeated batch does no saturation work at all;
 * :meth:`SlicingSession.slice_many` fans independent criteria out over
-  a thread pool against the read-only encoding, deduplicating identical
-  criteria in flight via per-key futures.
+  a thread pool (``backend="thread"``, sharing the read-only encoding)
+  or a process pool (``backend="process"``, each worker rebuilding or
+  store-loading the front half once and computing true CPU-parallel
+  slices), deduplicating identical criteria either way.
 
 Sessions are thread-safe: the memo tables hold one future per key, so
 concurrent submissions of the same criterion compute it exactly once.
@@ -27,7 +34,7 @@ concurrent submissions of the same criterion compute it exactly once.
 import os
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.core.criteria import (
     configs_criterion,
@@ -41,9 +48,15 @@ from repro.engine.canonical import (
     PRINTS,
     VERTICES,
     canonical_key,
+    is_stable_key,
     resolve_criterion_spec,
+    stable_key_digest,
 )
 from repro.pds import encode_sdg, prestar
+from repro.store import source_hash as _source_hash
+
+#: memo tables whose values are persisted when a store is attached
+PERSISTED_TABLES = frozenset(["slice", "feature", "feature_clean"])
 
 
 class SlicingSession(object):
@@ -53,17 +66,36 @@ class SlicingSession(object):
     already-built SDG (``SlicingSession.for_sdg(sdg)``).  All query
     methods are memoized and thread-safe.
 
+    Pass ``store`` (a :class:`repro.store.SliceStore`) to read and
+    write the persistent cache: the front half is loaded from disk when
+    warm, and slice/feature results are stored under their canonical
+    criterion keys.  Store-less sessions behave exactly as before.
+
     Attributes:
         source: the source text, or None when built from an SDG.
+        source_hash: sha256 of the source text (the store's program
+            key), or None.
+        store: the attached :class:`SliceStore`, or None.
         program / info / sdg / encoding: the shared front half.
     """
 
-    def __init__(self, source=None, program=None, info=None, sdg=None):
+    def __init__(self, source=None, program=None, info=None, sdg=None, store=None):
         t0 = time.perf_counter()
+        self.store = store
+        self.source_hash = None
+        front_half_cached = False
         if source is not None:
-            import repro
+            self.source_hash = _source_hash(source)
+            if sdg is None and store is not None:
+                cached = store.get_program(self.source_hash)
+                if cached is not None:
+                    sdg = cached
+                    program, info = cached.program, cached.info
+                    front_half_cached = True
+            if sdg is None:
+                import repro
 
-            program, info, sdg = repro.load_source(source)
+                program, info, sdg = repro.load_source(source)
         if sdg is None:
             raise ValueError("SlicingSession needs source text or an SDG")
         self.source = source
@@ -71,18 +103,28 @@ class SlicingSession(object):
         self.info = info if info is not None else sdg.info
         self.sdg = sdg
         self.encoding = encode_sdg(sdg)
+        if store is not None and self.source_hash is not None and not front_half_cached:
+            # Persist after encoding so the bundle includes the PDS
+            # (encode_sdg caches it on the graph, and SDG.__getstate__
+            # keeps it).
+            store.put_program(self.source_hash, sdg)
         self._lock = threading.Lock()
         self._futures = {}  # (cache kind, criterion key) -> Future
         self._stats = {
             "load_seconds": time.perf_counter() - t0,
+            "front_half_from_store": front_half_cached,
             "slice_hits": 0,
             "slice_misses": 0,
             "saturation_hits": 0,
             "saturation_misses": 0,
             "feature_hits": 0,
             "feature_misses": 0,
+            "feature_clean_hits": 0,
+            "feature_clean_misses": 0,
             "executable_hits": 0,
             "executable_misses": 0,
+            "persist_hits": 0,
+            "persist_misses": 0,
         }
 
     @classmethod
@@ -125,17 +167,32 @@ class SlicingSession(object):
 
         return self._memoized("slice", key, compute)
 
-    def slice_many(self, criteria, contexts="reachable", max_workers=None):
+    def slice_many(
+        self, criteria, contexts="reachable", max_workers=None, backend="thread"
+    ):
         """The batch driver: slice each criterion, fanning independent
-        queries out over a thread pool with the shared read-only
-        encoding.  Duplicate criteria are computed once (per-key
-        futures).  Returns results in input order."""
+        queries out over a worker pool.  Duplicate criteria are computed
+        once.  Returns results in input order.
+
+        ``backend="thread"`` (default) shares this session's read-only
+        encoding across a thread pool — cheap, but saturation work
+        serializes on the GIL.  ``backend="process"`` runs criteria in
+        a :class:`ProcessPoolExecutor`: each worker builds (or, with a
+        store attached, disk-loads) the front half once via a pool
+        initializer and computes slices truly in parallel; results come
+        back pickled and are installed in this session's memo.  The
+        process backend needs the session's source text.
+        """
         criteria = list(criteria)
         if not criteria:
             return []
         # Resolve each spec exactly once, up front: specs may be one-
         # shot iterables, and early validation beats a worker traceback.
         specs = [resolve_criterion_spec(self.sdg, c) for c in criteria]
+        if backend == "process":
+            return self._slice_many_process(specs, contexts, max_workers)
+        if backend != "thread":
+            raise ValueError("backend must be 'thread' or 'process'")
         if max_workers is None:
             max_workers = min(len(criteria), os.cpu_count() or 1)
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
@@ -164,12 +221,9 @@ class SlicingSession(object):
         """Algorithm 2 through the session: ``feature`` is either a
         label substring (as in ``repro remove --feature``) or any
         criterion spec; memoized like :meth:`slice`."""
-        from repro.core.feature_removal import feature_seeds, remove_feature
+        from repro.core.feature_removal import remove_feature
 
-        if isinstance(feature, str):
-            kind, payload = VERTICES, tuple(sorted(feature_seeds(self.sdg, feature)))
-        else:
-            kind, payload = resolve_criterion_spec(self.sdg, feature)
+        kind, payload = self._feature_spec(feature)
         key = canonical_key(kind, payload, contexts)
 
         def compute():
@@ -177,6 +231,34 @@ class SlicingSession(object):
             return remove_feature(self.sdg, a_c)
 
         return self._memoized("feature", key, compute)
+
+    def remove_feature_cleaned(self, feature, contexts="reachable"):
+        """Feature removal followed by the §7 interprocedural
+        useless-code-elimination pass (:mod:`repro.core.cleanup`),
+        memoized in its own table on top of :meth:`remove_feature`.
+
+        Returns ``(raw, cleaned)`` :class:`ExecutableSlice` pair, as
+        :func:`repro.core.cleanup.clean_feature_removal` does; the
+        underlying :class:`SpecializationResult` rides along as
+        ``cleaned.result``.
+        """
+        from repro.core.cleanup import clean_feature_removal
+
+        kind, payload = self._feature_spec(feature)
+        key = canonical_key(kind, payload, contexts)
+        result = self.remove_feature(feature, contexts)
+
+        def compute():
+            return clean_feature_removal(result)
+
+        raw, cleaned = self._memoized("feature_clean", key, compute)
+        # The back-reference is attached here, outside the memoized
+        # value, so store entries stay slim (the result is already
+        # persisted in the "feature" table) and store-loaded cleanups
+        # point at this session's memoized result object.
+        if getattr(cleaned, "result", None) is not result:
+            cleaned.result = result
+        return raw, cleaned
 
     def reachable_configs(self):
         """The shared ``Poststar(entry_main)`` saturation (computed at
@@ -190,11 +272,19 @@ class SlicingSession(object):
     @property
     def stats(self):
         """A snapshot of cache/timing counters (hit and miss counts per
-        memo table, ``load_seconds`` for the front half)."""
+        memo table, ``load_seconds`` for the front half, persistent-
+        store hits/misses when a store is attached)."""
         with self._lock:
             return dict(self._stats)
 
     # -- internals -------------------------------------------------------------
+
+    def _feature_spec(self, feature):
+        from repro.core.feature_removal import feature_seeds
+
+        if isinstance(feature, str):
+            return VERTICES, tuple(sorted(feature_seeds(self.sdg, feature)))
+        return resolve_criterion_spec(self.sdg, feature)
 
     def _query_automaton(self, kind, payload, contexts):
         if kind == AUTOMATON:
@@ -208,7 +298,9 @@ class SlicingSession(object):
     def _memoized(self, cache_kind, key, compute):
         """One-future-per-key memoization: the first submitter computes,
         concurrent duplicates block on the same future, and failures are
-        evicted so a later retry can succeed."""
+        evicted so a later retry can succeed.  Tables named in
+        :data:`PERSISTED_TABLES` consult and fill the attached store
+        around the computation."""
         full_key = (cache_kind, key)
         with self._lock:
             future = self._futures.get(full_key)
@@ -222,7 +314,7 @@ class SlicingSession(object):
         if not owner:
             return future.result()
         try:
-            value = compute()
+            value = self._compute_through_store(cache_kind, key, compute)
         except BaseException as exc:
             with self._lock:
                 self._futures.pop(full_key, None)
@@ -230,3 +322,176 @@ class SlicingSession(object):
             raise
         future.set_result(value)
         return value
+
+    def _compute_through_store(self, cache_kind, key, compute):
+        digest = self._persist_digest(cache_kind, key)
+        if digest is not None:
+            value = self.store.get(self.source_hash, cache_kind, digest)
+            with self._lock:
+                self._stats[
+                    "persist_hits" if value is not None else "persist_misses"
+                ] += 1
+            if value is not None:
+                return self._rehydrate(value)
+        value = compute()
+        if digest is not None:
+            self.store.put(self.source_hash, cache_kind, digest, self._slim(value))
+        return value
+
+    def _slim(self, value):
+        """A shallow copy of a result with the shared front half nulled
+        out, for storage or IPC: every entry would otherwise embed its
+        own pickled copy of the session's SDG and PDS encoding (the
+        bulk of the bytes, already stored once as the front-half
+        bundle).  Handles the ``(raw, cleaned)`` tuples of
+        :meth:`remove_feature_cleaned`, whose cleaned slice carries a
+        ``result`` back-reference (dropped here, re-linked by the
+        caller)."""
+        import copy
+
+        from repro.core.executable import ExecutableSlice
+        from repro.core.specialize import SpecializationResult
+
+        if isinstance(value, SpecializationResult):
+            slim = copy.copy(value)
+            slim.source_sdg = None
+            slim.encoding = None
+            return slim
+        if isinstance(value, tuple):
+            return tuple(self._slim(item) for item in value)
+        if isinstance(value, ExecutableSlice) and isinstance(
+            getattr(value, "result", None), SpecializationResult
+        ):
+            slim = copy.copy(value)
+            del slim.result
+            return slim
+        return value
+
+    def _rehydrate(self, value):
+        """The inverse of :meth:`_slim`: point a store-loaded or
+        worker-computed result at this session's front half (also
+        restoring the storeless invariant that ``result.source_sdg is
+        session.sdg``)."""
+        from repro.core.specialize import SpecializationResult
+
+        if isinstance(value, SpecializationResult):
+            if value.source_sdg is None:
+                value.source_sdg = self.sdg
+                value.encoding = self.encoding
+            return value
+        if isinstance(value, tuple):
+            return tuple(self._rehydrate(item) for item in value)
+        return value
+
+    def _persist_digest(self, cache_kind, key):
+        """The on-disk digest for a memo entry, or None when the entry
+        is not persistable (no store, SDG-only session, or a criterion
+        key — e.g. a user automaton with exotic states — that has no
+        process-independent rendering)."""
+        if (
+            self.store is None
+            or self.source_hash is None
+            or cache_kind not in PERSISTED_TABLES
+            or not is_stable_key(key)
+        ):
+            return None
+        return stable_key_digest(key)
+
+    def _install(self, cache_kind, key, value):
+        """Install an externally computed value (a process-pool worker's
+        result) into the memo; a concurrent computation's value wins."""
+        full_key = (cache_kind, key)
+        with self._lock:
+            existing = self._futures.get(full_key)
+            if existing is None:
+                future = Future()
+                future.set_result(value)
+                self._futures[full_key] = future
+        return value
+
+    def _slice_many_process(self, specs, contexts, max_workers):
+        if self.source is None:
+            raise ValueError(
+                "backend='process' needs the session's source text "
+                "(sessions built from an SDG cannot ship work to workers)"
+            )
+        keys = [canonical_key(kind, payload, contexts) for kind, payload in specs]
+        unique = {}
+        for spec, key in zip(specs, keys):
+            unique.setdefault(key, spec)
+        # Criteria this session already has (finished or in flight) are
+        # not resubmitted; only genuinely new keys go to the pool.
+        with self._lock:
+            known = {
+                key: self._futures.get(("slice", key))
+                for key in unique
+            }
+            for key, future in known.items():
+                if future is not None:
+                    self._stats["slice_hits"] += 1
+                else:
+                    self._stats["slice_misses"] += 1
+        computed = {}
+        to_compute = []
+        for key, future in known.items():
+            if future is not None:
+                continue
+            # A warm store answers here, in the parent, before any
+            # worker processes are spawned at all.
+            digest = self._persist_digest("slice", key)
+            if digest is not None:
+                value = self.store.get(self.source_hash, "slice", digest)
+                with self._lock:
+                    self._stats[
+                        "persist_hits" if value is not None else "persist_misses"
+                    ] += 1
+                if value is not None:
+                    computed[key] = self._install("slice", key, self._rehydrate(value))
+                    continue
+            to_compute.append((key, unique[key]))
+        if to_compute:
+            cache_dir = self.store.cache_dir if self.store is not None else None
+            max_bytes = self.store.max_bytes if self.store is not None else None
+            workers = max_workers or min(len(to_compute), os.cpu_count() or 1)
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_process_worker_init,
+                initargs=(self.source, cache_dir, max_bytes),
+            ) as pool:
+                futures = {
+                    key: pool.submit(_process_worker_slice, kind, payload, contexts)
+                    for key, (kind, payload) in to_compute
+                }
+            for key, future in futures.items():
+                # Workers ship slim results (no embedded front half);
+                # re-attach this session's SDG/encoding on install.
+                computed[key] = self._install(
+                    "slice", key, self._rehydrate(future.result())
+                )
+        results = {}
+        for key in unique:
+            future = known.get(key)
+            results[key] = future.result() if future is not None else computed[key]
+        return [results[key] for key in keys]
+
+
+#: the per-process session a ProcessPoolExecutor worker slices through,
+#: built once by the pool initializer.
+_WORKER_SESSION = None
+
+
+def _process_worker_init(source, cache_dir, max_bytes):
+    global _WORKER_SESSION
+    store = None
+    if cache_dir is not None:
+        from repro.store import SliceStore
+
+        store = SliceStore(cache_dir, max_bytes=max_bytes)
+    _WORKER_SESSION = SlicingSession(source, store=store)
+
+
+def _process_worker_slice(kind, payload, contexts):
+    # Slim the result before it is pickled back: the parent has its own
+    # front half and rehydrates on install.
+    result = _WORKER_SESSION._slice_resolved(kind, payload, contexts)
+    return _WORKER_SESSION._slim(result)

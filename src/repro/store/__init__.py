@@ -1,0 +1,43 @@
+"""Persistent slice storage (the cross-process, cross-restart cache).
+
+The in-memory :class:`repro.engine.SlicingSession` memo dies with its
+process; this package is the durable layer underneath it:
+
+* :class:`SliceStore` — a content-addressed on-disk cache of front-half
+  bundles (parsed program + SDG + PDS encoding) and per-criterion
+  results, keyed by source-text hash and the engine's canonical
+  criterion keys, with versioned checksummed entries, atomic writes,
+  and an LRU size cap.
+* :func:`open_store` / :func:`default_cache_dir` — the conventional
+  way to get a store (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+
+Sessions use it transparently: ``repro.open_session(source,
+cache_dir=...)`` loads the front half from the store when warm and
+answers repeated criteria from disk with no saturation work at all.
+CLI: ``repro cache stats`` / ``repro cache clear`` and
+``repro slice-batch --cache-dir``.
+"""
+
+from repro.store.store import (
+    DEFAULT_MAX_BYTES,
+    STORE_VERSION,
+    SliceStore,
+    default_cache_dir,
+    source_hash,
+)
+
+
+def open_store(cache_dir=None, max_bytes=None):
+    """The :class:`SliceStore` at ``cache_dir`` (default:
+    :func:`default_cache_dir`)."""
+    return SliceStore(cache_dir=cache_dir, max_bytes=max_bytes)
+
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "STORE_VERSION",
+    "SliceStore",
+    "default_cache_dir",
+    "open_store",
+    "source_hash",
+]

@@ -1,0 +1,346 @@
+"""The persistent slice store: a content-addressed on-disk cache.
+
+Layout.  One directory per program (named by the sha256 of its source
+text), one file per cached object inside it::
+
+    <cache_dir>/
+      <source_hash>/
+        fronthalf.slc                  # pickled SDG (program+info+PDS encoding)
+        slice-<key_digest>.slc         # pickled SpecializationResult
+        feature-<key_digest>.slc       # pickled feature-removal result
+        feature_clean-<key_digest>.slc # pickled (raw, cleaned) slice pair
+
+``key_digest`` is :func:`repro.engine.canonical.stable_key_digest` of
+the same canonical criterion key the in-memory session memo uses, so
+the two cache layers can never disagree about which queries are "the
+same".
+
+Entry format.  Every file is ``MAGIC | version | sha256(payload) |
+payload`` with the payload a pickle.  Reads verify all three prefixes;
+any mismatch — a truncated write, a flipped byte, a file written by an
+older store version — makes the entry a *miss* and deletes it, so a
+corrupted cache degrades to a cold one instead of failing or serving
+bad results.
+
+Writes are atomic (temp file + :func:`os.replace` in the same
+directory), which also makes concurrent writers safe: the last
+complete write wins and readers only ever observe whole entries.
+
+Eviction.  The store is capped at ``max_bytes`` (default 256 MiB,
+overridable via ``REPRO_CACHE_MAX_BYTES``).  Reads bump the entry's
+mtime, and when a write pushes the store over the cap, entries are
+dropped oldest-mtime-first — i.e. least-recently-used — until it fits.
+"""
+
+import hashlib
+import os
+import pickle
+import struct
+import tempfile
+import threading
+
+MAGIC = b"RSLC"
+#: Bump on any incompatible change to the entry format *or* to the
+#: pickled object graphs; old entries are then invalidated on read.
+STORE_VERSION = 1
+
+_VERSION_STRUCT = struct.Struct(">H")
+_HEADER_LEN = len(MAGIC) + _VERSION_STRUCT.size + hashlib.sha256().digest_size
+
+_SUFFIX = ".slc"
+_TMP_SUFFIX = ".tmp"
+_FRONTHALF = "fronthalf"
+#: orphaned temp files older than this are swept during eviction/clear
+_TMP_GRACE_SECONDS = 60
+
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return explicit
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def source_hash(source):
+    """The store's program key: sha256 hex digest of the source text
+    (the same key :func:`repro.open_session` uses in memory)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SliceStore(object):
+    """A persistent cache of slicing results for many programs.
+
+    All methods are safe against concurrent readers and writers in
+    other threads and other processes; within one process the counters
+    are guarded by a lock.  A store object is cheap — it holds only the
+    directory path, the size cap, and hit/miss counters.
+
+    Attributes:
+        cache_dir: the root directory (created lazily on first write).
+        max_bytes: LRU size cap over all entry files.
+    """
+
+    def __init__(self, cache_dir=None, max_bytes=None):
+        self.cache_dir = os.path.abspath(
+            os.path.expanduser(cache_dir or default_cache_dir())
+        )
+        if max_bytes is None:
+            max_bytes = int(
+                os.environ.get("REPRO_CACHE_MAX_BYTES", DEFAULT_MAX_BYTES)
+            )
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        # Approximate on-disk total, maintained incrementally so writes
+        # do not walk the store; None until the first write scans once.
+        # Writers in other processes are invisible to the estimate, but
+        # every full scan (triggered whenever the estimate crosses the
+        # cap) resyncs it with the truth.
+        self._approx_bytes = None
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "evictions": 0,
+            "invalid_dropped": 0,
+        }
+
+    # -- the generic object cache ----------------------------------------------
+
+    def get(self, src_hash, table, key_digest):
+        """The cached object for ``(program, table, criterion)``, or
+        None.  Never raises on a bad entry: corrupted, truncated, and
+        version-mismatched files count as misses and are deleted."""
+        path = self._entry_path(src_hash, table, key_digest)
+        value, ok = self._read(path)
+        self._count("hits" if ok else "misses")
+        return value
+
+    def put(self, src_hash, table, key_digest, value):
+        """Cache ``value``; atomic, last-writer-wins, then LRU-evict if
+        the store grew past ``max_bytes``."""
+        path = self._entry_path(src_hash, table, key_digest)
+        written = self._write(path, value)
+        self._count("stores")
+        self._note_written(written)
+
+    # -- the front-half bundle -------------------------------------------------
+
+    def get_program(self, src_hash):
+        """The cached front half (an SDG carrying program, semantic
+        info, and PDS encoding) for a source hash, or None."""
+        value, ok = self._read(self._entry_path(src_hash, _FRONTHALF, None))
+        self._count("hits" if ok else "misses")
+        return value
+
+    def put_program(self, src_hash, sdg):
+        written = self._write(self._entry_path(src_hash, _FRONTHALF, None), sdg)
+        self._count("stores")
+        self._note_written(written)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def clear(self):
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        for path, _size, _mtime in self._entries():
+            if self._unlink(path):
+                removed += 1
+        self._sweep_stale_temp()
+        for name in _listdir(self.cache_dir):
+            _rmdir(os.path.join(self.cache_dir, name))
+        with self._lock:
+            self._approx_bytes = 0
+        return removed
+
+    def stats(self):
+        """A snapshot: on-disk shape (programs, entries, bytes) plus
+        this process's hit/miss/store/eviction counters."""
+        entries = self._entries()
+        programs = set()
+        tables = {}
+        for path, _size, _mtime in entries:
+            programs.add(os.path.basename(os.path.dirname(path)))
+            table = os.path.basename(path).rsplit("-", 1)[0]
+            if table.endswith(_SUFFIX):
+                table = table[: -len(_SUFFIX)]
+            tables[table] = tables.get(table, 0) + 1
+        with self._lock:
+            counters = dict(self._counters)
+        counters.update(
+            cache_dir=self.cache_dir,
+            version=STORE_VERSION,
+            max_bytes=self.max_bytes,
+            programs=len(programs),
+            entries=len(entries),
+            total_bytes=sum(size for _path, size, _mtime in entries),
+            tables=tables,
+        )
+        return counters
+
+    # -- internals -------------------------------------------------------------
+
+    def _entry_path(self, src_hash, table, key_digest):
+        name = table if key_digest is None else "%s-%s" % (table, key_digest)
+        return os.path.join(self.cache_dir, src_hash, name + _SUFFIX)
+
+    def _read(self, path):
+        """Returns ``(value, ok)``; drops the file on any defect."""
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None, False
+        if len(blob) < _HEADER_LEN or not blob.startswith(MAGIC):
+            self._drop_invalid(path)
+            return None, False
+        (version,) = _VERSION_STRUCT.unpack_from(blob, len(MAGIC))
+        if version != STORE_VERSION:
+            self._drop_invalid(path)
+            return None, False
+        offset = len(MAGIC) + _VERSION_STRUCT.size
+        digest = blob[offset:_HEADER_LEN]
+        payload = blob[_HEADER_LEN:]
+        if hashlib.sha256(payload).digest() != digest:
+            self._drop_invalid(path)
+            return None, False
+        try:
+            value = pickle.loads(payload)
+        except Exception:
+            self._drop_invalid(path)
+            return None, False
+        _touch(path)
+        return value, True
+
+    def _write(self, path, value):
+        """Atomically write one entry; returns the bytes written."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = (
+            MAGIC
+            + _VERSION_STRUCT.pack(STORE_VERSION)
+            + hashlib.sha256(payload).digest()
+            + payload
+        )
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=_TMP_SUFFIX)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(temp_path, path)
+        except BaseException:
+            _unlink_quiet(temp_path)
+            raise
+        return len(blob)
+
+    def _drop_invalid(self, path):
+        if self._unlink(path):
+            self._count("invalid_dropped")
+
+    def _note_written(self, nbytes):
+        """Incremental size accounting: a write only triggers the
+        O(entries) eviction walk when the running estimate crosses the
+        cap (the estimate over-counts overwrites, which merely causes
+        an early — and correcting — scan)."""
+        with self._lock:
+            unknown = self._approx_bytes is None
+            if not unknown:
+                self._approx_bytes += nbytes
+                over = self._approx_bytes > self.max_bytes
+        if unknown or over:
+            self._evict_lru()
+
+    def _evict_lru(self):
+        self._sweep_stale_temp()
+        entries = self._entries()
+        total = sum(size for _path, size, _mtime in entries)
+        if total > self.max_bytes:
+            # Oldest mtime first; reads touch their entry, so this is LRU.
+            entries.sort(key=lambda entry: entry[2])
+            for path, size, _mtime in entries:
+                if total <= self.max_bytes:
+                    break
+                if self._unlink(path):
+                    total -= size
+                    self._count("evictions")
+        with self._lock:
+            self._approx_bytes = total
+
+    def _sweep_stale_temp(self):
+        """Remove orphaned ``.tmp`` files (a writer killed between
+        mkstemp and the atomic replace) once they are old enough that
+        no live writer can still own them."""
+        import time
+
+        horizon = time.time() - _TMP_GRACE_SECONDS
+        for sub in _listdir(self.cache_dir):
+            subdir = os.path.join(self.cache_dir, sub)
+            for name in _listdir(subdir):
+                if not name.endswith(_TMP_SUFFIX):
+                    continue
+                path = os.path.join(subdir, name)
+                try:
+                    stale = os.stat(path).st_mtime < horizon
+                except OSError:
+                    continue
+                if stale:
+                    _unlink_quiet(path)
+
+    def _entries(self):
+        """All ``(path, size, mtime)`` entry triples currently on disk
+        (tolerant of concurrent deletion)."""
+        result = []
+        for sub in _listdir(self.cache_dir):
+            subdir = os.path.join(self.cache_dir, sub)
+            for name in _listdir(subdir):
+                if not name.endswith(_SUFFIX):
+                    continue
+                path = os.path.join(subdir, name)
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue
+                result.append((path, status.st_size, status.st_mtime))
+        return result
+
+    def _unlink(self, path):
+        if _unlink_quiet(path):
+            _rmdir(os.path.dirname(path))
+            return True
+        return False
+
+    def _count(self, name):
+        with self._lock:
+            self._counters[name] += 1
+
+
+def _listdir(path):
+    try:
+        return os.listdir(path)
+    except OSError:
+        return []
+
+
+def _touch(path):
+    try:
+        os.utime(path, None)
+    except OSError:
+        pass
+
+
+def _unlink_quiet(path):
+    try:
+        os.unlink(path)
+    except OSError:
+        return False
+    return True
+
+
+def _rmdir(path):
+    """Remove a per-program directory if (and only if) it is empty."""
+    try:
+        os.rmdir(path)
+    except OSError:
+        pass

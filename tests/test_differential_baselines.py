@@ -108,3 +108,47 @@ def test_differential_sample_is_large_enough():
     """The harness must cover at least 25 generated programs (the
     acceptance floor for this differential suite)."""
     assert N_PROGRAMS >= 25
+
+
+#: generator seeds re-checked through the persistent store (a subset:
+#: the point is store fidelity, not re-running the whole harness).
+STORE_SEEDS = (0, 3, 7, 11, 19)
+
+
+@pytest.mark.parametrize("seed", STORE_SEEDS)
+def test_store_served_results_byte_identical(seed, tmp_path):
+    """The differential harness with the store enabled: results served
+    from disk must be byte-identical to fresh computation — same
+    rendered program text, same mapped-back vertex sets, same version
+    counts — and the warm session must do no saturation work."""
+    from repro.store import SliceStore
+
+    program, _info = generate_program(GenConfig(seed=seed, n_procs=3))
+    source = pretty(program)
+    cache = str(tmp_path / "cache")
+
+    fresh = SlicingSession(source)  # no store: the reference computation
+    writer = SlicingSession(source, store=SliceStore(cache))  # fills the store
+    reader = SlicingSession(source, store=SliceStore(cache))  # serves from it
+    assert reader.stats["front_half_from_store"] is True
+
+    prints = fresh.sdg.print_call_vertices()
+    if not prints:
+        pytest.skip("generated program has no print statements")
+    criteria = [("print", index) for index in range(min(len(prints), MAX_CRITERIA))]
+
+    fresh_results = fresh.slice_many(criteria)
+    writer.slice_many(criteria)
+    stored_results = reader.slice_many(criteria)
+
+    stats = reader.stats
+    assert stats["persist_hits"] == len(criteria)
+    assert stats["saturation_misses"] == 0 and stats["saturation_hits"] == 0
+
+    for criterion, a, b in zip(criteria, fresh_results, stored_results):
+        assert a.version_counts() == b.version_counts()
+        assert a.closure_elems() == b.closure_elems()
+        assert set(a.map_back_vertex.values()) == set(b.map_back_vertex.values())
+        assert pretty(fresh.executable(criterion).program) == pretty(
+            reader.executable(criterion).program
+        )

@@ -191,6 +191,51 @@ def test_session_remove_feature_matches_module_function():
         session.remove_feature("no such statement text")
 
 
+def test_session_remove_feature_cleaned_memoized():
+    """The §7 cleanup pass runs through the session with its own memo
+    table (ROADMAP open item), and matches the module-level
+    :func:`clean_feature_removal` exactly."""
+    from repro.core.cleanup import clean_feature_removal
+
+    session = SlicingSession(FIG16_SOURCE)
+    raw, cleaned = session.remove_feature_cleaned("int prod = 1")
+    stats = session.stats
+    assert stats["feature_clean_misses"] == 1 and stats["feature_clean_hits"] == 0
+    # Resubmitting is a dictionary lookup returning the same objects.
+    raw_again, cleaned_again = session.remove_feature_cleaned("int prod = 1")
+    assert raw_again is raw and cleaned_again is cleaned
+    stats = session.stats
+    assert stats["feature_clean_hits"] == 1
+    # The cleanup reuses the memoized removal (one feature miss total).
+    assert stats["feature_misses"] == 1
+    # Same answer as the module-level pass it folds in.
+    result = session.remove_feature("int prod = 1")
+    direct_raw, direct_cleaned = clean_feature_removal(result)
+    assert repro.pretty(cleaned.program) == repro.pretty(direct_cleaned.program)
+    assert repro.pretty(raw.program) == repro.pretty(direct_raw.program)
+    assert cleaned.result is result
+    # The cleaned program still runs (the §7 guarantee: cleanup removes
+    # only useless code).
+    assert (
+        repro.run_program(cleaned.program).values
+        == repro.run_program(raw.program).values
+    )
+
+
+def test_remove_feature_source_routes_through_session():
+    """The one-call helper now shares the session memo: repeating a
+    removal touches the cleanup table once."""
+    # A whitespace variant hashes to its own session, so counters are
+    # not shared with other tests that use FIG16_SOURCE.
+    source = FIG16_SOURCE + "\n"
+    first = repro.remove_feature_source(source, "int prod = 1")
+    second = repro.remove_feature_source(source, "int prod = 1")
+    assert first is second  # same memoized ExecutableSlice
+    session = repro.open_session(source)
+    assert session.stats["feature_clean_misses"] == 1
+    assert session.stats["feature_clean_hits"] == 1
+
+
 def test_for_sdg_shares_one_session():
     _program, _info, sdg = repro.load_source(FIG1_SOURCE)
     first = SlicingSession.for_sdg(sdg)

@@ -1,0 +1,381 @@
+"""Tests for the persistent slice store (:mod:`repro.store`).
+
+Covers the store's own durability edge cases — corrupted, truncated,
+and version-mismatched entry files, concurrent writers, LRU eviction —
+plus the session integration: warm front-half loads, disk-served
+slices with zero saturation work, store-backed ``open_session``, the
+process backend, and the ``repro cache`` CLI.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.cli import build_parser
+from repro.engine import SlicingSession, slice_many_programs, stable_key_digest
+from repro.lang import pretty
+from repro.store import STORE_VERSION, SliceStore, source_hash
+from repro.store.store import MAGIC
+from repro.workloads.paper_figures import FIG1_SOURCE
+
+pytestmark = pytest.mark.smoke
+
+HASH = source_hash(FIG1_SOURCE)
+KEY = stable_key_digest(("vertices", (1, 2), "reachable"))
+
+
+def _store(tmp_path, **kwargs):
+    return SliceStore(str(tmp_path / "cache"), **kwargs)
+
+
+def _entry_files(store):
+    result = []
+    for root, _dirs, files in os.walk(store.cache_dir):
+        result.extend(os.path.join(root, name) for name in files)
+    return sorted(result)
+
+
+# -- entry durability --------------------------------------------------------------
+
+
+def test_roundtrip(tmp_path):
+    store = _store(tmp_path)
+    assert store.get(HASH, "slice", KEY) is None
+    store.put(HASH, "slice", KEY, {"answer": [1, 2, 3]})
+    assert store.get(HASH, "slice", KEY) == {"answer": [1, 2, 3]}
+    stats = store.stats()
+    assert stats["entries"] == 1 and stats["programs"] == 1
+    assert stats["hits"] == 1 and stats["misses"] == 1 and stats["stores"] == 1
+
+
+def test_corrupted_entry_is_a_miss_and_removed(tmp_path):
+    store = _store(tmp_path)
+    store.put(HASH, "slice", KEY, "value")
+    (path,) = _entry_files(store)
+    blob = bytearray(open(path, "rb").read())
+    blob[-1] ^= 0xFF  # flip a payload byte; the checksum must catch it
+    open(path, "wb").write(bytes(blob))
+    assert store.get(HASH, "slice", KEY) is None
+    assert not os.path.exists(path)
+    assert store.stats()["invalid_dropped"] == 1
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    store = _store(tmp_path)
+    store.put(HASH, "slice", KEY, list(range(1000)))
+    (path,) = _entry_files(store)
+    blob = open(path, "rb").read()
+    for cut in (0, 3, len(MAGIC) + 1, len(blob) // 2, len(blob) - 1):
+        open(path, "wb").write(blob[:cut])
+        assert store.get(HASH, "slice", KEY) is None
+        # The defective file was dropped; re-store for the next cut.
+        assert not os.path.exists(path)
+        store.put(HASH, "slice", KEY, list(range(1000)))
+    assert store.get(HASH, "slice", KEY) == list(range(1000))
+
+
+def test_version_mismatch_invalidates(tmp_path):
+    store = _store(tmp_path)
+    store.put(HASH, "slice", KEY, "value")
+    (path,) = _entry_files(store)
+    blob = bytearray(open(path, "rb").read())
+    # Rewrite the version field to a future version.
+    blob[len(MAGIC)] = 0xFF
+    open(path, "wb").write(bytes(blob))
+    assert store.get(HASH, "slice", KEY) is None
+    assert not os.path.exists(path)
+    assert store.stats()["invalid_dropped"] == 1
+    assert STORE_VERSION != 0xFF01  # the rewrite above really differs
+
+
+def test_unpicklable_garbage_payload_is_a_miss(tmp_path):
+    """A well-formed header over a checksummed-but-bogus payload must
+    still degrade to a miss (pickle errors are caught)."""
+    import hashlib
+    import struct
+
+    store = _store(tmp_path)
+    payload = b"not a pickle at all"
+    blob = (
+        MAGIC
+        + struct.pack(">H", STORE_VERSION)
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+    path = os.path.join(store.cache_dir, HASH, "slice-%s.slc" % KEY)
+    os.makedirs(os.path.dirname(path))
+    open(path, "wb").write(blob)
+    assert store.get(HASH, "slice", KEY) is None
+    assert not os.path.exists(path)
+
+
+def test_concurrent_writers_same_key(tmp_path):
+    """Racing writers (atomic replace) must never produce a torn or
+    unreadable entry; one of the written values survives."""
+    store = _store(tmp_path)
+    n_writers = 8
+    barrier = threading.Barrier(n_writers)
+    errors = []
+
+    def write(index):
+        try:
+            barrier.wait()
+            for round_no in range(20):
+                store.put(HASH, "slice", KEY, ("writer", index, round_no))
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=write, args=(i,)) for i in range(n_writers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    value = store.get(HASH, "slice", KEY)
+    assert value is not None and value[0] == "writer"
+    assert len(_entry_files(store)) == 1  # no leaked temp files
+
+
+def test_lru_eviction_caps_size(tmp_path):
+    payload = "x" * 2000
+    store = _store(tmp_path, max_bytes=10_000)
+    for index in range(10):
+        store.put(HASH, "slice", "key%02d" % index, (index, payload))
+        # Keep entry 0 hot so LRU (not FIFO) order decides eviction.
+        assert store.get(HASH, "slice", "key00") is not None
+    stats = store.stats()
+    assert stats["total_bytes"] <= 10_000
+    assert stats["evictions"] >= 1
+    assert store.get(HASH, "slice", "key00") is not None  # recently used survived
+    assert store.get(HASH, "slice", "key01") is None  # cold entry evicted
+
+
+def test_cache_dir_tilde_expands(tmp_path, monkeypatch):
+    """The documented ``cache_dir="~/.cache/repro"`` spelling must land
+    under the home directory, not in a literal ``./~``."""
+    monkeypatch.setenv("HOME", str(tmp_path))
+    store = SliceStore("~/.cache/repro-tilde-test")
+    assert store.cache_dir == str(tmp_path / ".cache" / "repro-tilde-test")
+    session = repro.open_session(FIG1_SOURCE, cache_dir="~/.cache/repro-tilde-test")
+    assert session.store.cache_dir == store.cache_dir
+    session.slice()
+    assert store.stats()["entries"] >= 1
+
+
+def test_stale_temp_files_are_swept(tmp_path):
+    """An orphaned ``.tmp`` from a killed writer must be removed by
+    clear() and by the eviction sweep once past the grace period."""
+    from repro.store.store import _TMP_GRACE_SECONDS
+
+    store = _store(tmp_path)
+    store.put(HASH, "slice", KEY, "value")
+    orphan = os.path.join(store.cache_dir, HASH, "orphanxyz.tmp")
+    open(orphan, "wb").write(b"partial write")
+    long_ago = time.time() - 10 * _TMP_GRACE_SECONDS
+    os.utime(orphan, (long_ago, long_ago))
+    # A fresh .tmp (a live writer) must survive clear()...
+    live = os.path.join(store.cache_dir, HASH, "livewriter.tmp")
+    open(live, "wb").write(b"in flight")
+    assert store.clear() == 1
+    assert not os.path.exists(orphan)
+    assert os.path.exists(live)
+    os.unlink(live)
+
+
+def test_stored_entries_are_slim(tmp_path):
+    """Per-criterion entries must not embed their own copy of the front
+    half: every slice / feature / feature_clean file stays smaller than
+    the shared fronthalf bundle it would otherwise duplicate."""
+    from repro.workloads.paper_figures import FIG16_SOURCE
+
+    store = _store(tmp_path)
+    session = SlicingSession(FIG16_SOURCE, store=store)
+    session.slice()
+    session.remove_feature_cleaned("int prod = 1")
+    sizes = {}
+    for path in _entry_files(store):
+        name = os.path.basename(path)
+        sizes[name.split("-")[0].replace(".slc", "")] = os.path.getsize(path)
+    assert set(sizes) == {"fronthalf", "slice", "feature", "feature_clean"}
+    for table in ("slice", "feature", "feature_clean"):
+        assert sizes[table] < sizes["fronthalf"], (
+            "%s entry (%d bytes) should be slim, not embed another front "
+            "half (%d bytes)" % (table, sizes[table], sizes["fronthalf"])
+        )
+
+
+def test_warm_feature_clean_relinks_result(tmp_path):
+    """A store-loaded cleanup pair points at the warm session's own
+    memoized removal result (the storeless identity invariant)."""
+    from repro.workloads.paper_figures import FIG16_SOURCE
+
+    cache = str(tmp_path / "cache")
+    writer = SlicingSession(FIG16_SOURCE, store=SliceStore(cache))
+    writer.remove_feature_cleaned("int prod = 1")
+
+    reader = SlicingSession(FIG16_SOURCE, store=SliceStore(cache))
+    raw, cleaned = reader.remove_feature_cleaned("int prod = 1")
+    assert reader.stats["persist_hits"] == 2  # feature + feature_clean
+    assert cleaned.result is reader.remove_feature("int prod = 1")
+    assert cleaned.result.source_sdg is reader.sdg
+    _again_raw, cleaned_again = reader.remove_feature_cleaned("int prod = 1")
+    assert cleaned_again is cleaned
+
+
+def test_clear_removes_everything(tmp_path):
+    store = _store(tmp_path)
+    store.put(HASH, "slice", KEY, "value")
+    store.put_program(HASH, {"front": "half"})
+    assert store.clear() == 2
+    assert store.stats()["entries"] == 0
+    assert _entry_files(store) == []
+
+
+# -- session integration -----------------------------------------------------------
+
+
+def test_warm_session_serves_from_disk_without_saturation(tmp_path):
+    cache = str(tmp_path / "cache")
+    cold = SlicingSession(FIG1_SOURCE, store=SliceStore(cache))
+    cold_result = cold.slice()
+    assert cold.stats["persist_misses"] == 1
+
+    warm = SlicingSession(FIG1_SOURCE, store=SliceStore(cache))
+    warm_result = warm.slice()
+    stats = warm.stats
+    assert stats["front_half_from_store"] is True
+    assert stats["persist_hits"] == 1
+    # The whole point of the store: a warm batch does no saturation at
+    # all — neither Prestar nor the shared Poststar ran.
+    assert stats["saturation_misses"] == 0 and stats["saturation_hits"] == 0
+    # Byte-identical rendering, and the result is rehydrated onto the
+    # warm session's own front half.
+    assert pretty(warm.executable().program) == pretty(cold.executable().program)
+    assert warm_result.source_sdg is warm.sdg
+    assert warm_result.version_counts() == cold_result.version_counts()
+    assert warm_result.closure_elems() == cold_result.closure_elems()
+
+
+def test_corrupt_store_degrades_to_cold(tmp_path):
+    cache = str(tmp_path / "cache")
+    session = SlicingSession(FIG1_SOURCE, store=SliceStore(cache))
+    expected = pretty(session.executable().program)
+    store = SliceStore(cache)
+    for path in _entry_files(store):
+        open(path, "wb").write(b"garbage")
+    fresh = SlicingSession(FIG1_SOURCE, store=store)
+    assert fresh.stats["front_half_from_store"] is False
+    assert pretty(fresh.executable().program) == expected
+
+
+def test_open_session_with_cache_dir(tmp_path):
+    cache = str(tmp_path / "cache")
+    with_store = repro.open_session(FIG1_SOURCE, cache_dir=cache)
+    assert with_store.store is not None
+    # The plain session for the same source is a different cache slot.
+    without = repro.open_session(FIG1_SOURCE)
+    assert without is not with_store
+    assert repro.open_session(FIG1_SOURCE, cache_dir=cache) is with_store
+
+
+def test_process_backend_matches_thread_backend(tmp_path):
+    session = SlicingSession(FIG1_SOURCE)
+    threaded = session.slice_many([("print", 0), "prints", ("print", 0)])
+    fresh = SlicingSession(FIG1_SOURCE)
+    processed = fresh.slice_many(
+        [("print", 0), "prints", ("print", 0)], backend="process"
+    )
+    assert len(processed) == 3
+    # Duplicate criteria dedupe to the same object on both backends.
+    assert processed[0] is processed[2]
+    # Worker results come back slim and are rehydrated onto the parent
+    # session's front half (no duplicated SDG/encoding per criterion).
+    assert all(result.source_sdg is fresh.sdg for result in processed)
+    assert all(result.encoding is fresh.encoding for result in processed)
+    for a, b in zip(threaded, processed):
+        assert a.version_counts() == b.version_counts()
+        assert a.closure_elems() == b.closure_elems()
+    # Resubmitting is now pure memo.
+    again = fresh.slice_many([("print", 0)], backend="process")
+    assert again[0] is processed[0]
+
+
+def test_process_backend_requires_source():
+    _program, _info, sdg = repro.load_source(FIG1_SOURCE)
+    session = SlicingSession(sdg=sdg)
+    with pytest.raises(ValueError):
+        session.slice_many([("print", 0)], backend="process")
+
+
+def test_slice_many_rejects_unknown_backend():
+    session = SlicingSession(FIG1_SOURCE)
+    with pytest.raises(ValueError):
+        session.slice_many([("print", 0)], backend="greenlet")
+
+
+def test_slice_many_programs_both_backends(tmp_path):
+    cache = str(tmp_path / "cache")
+    jobs = [(FIG1_SOURCE, [("print", 0)]), (FIG1_SOURCE, ["prints"])]
+    threaded = slice_many_programs(jobs, backend="thread", cache_dir=cache)
+    processed = slice_many_programs(jobs, backend="process", cache_dir=cache)
+    assert [len(batch) for batch in threaded] == [1, 1]
+    for batch_a, batch_b in zip(threaded, processed):
+        for a, b in zip(batch_a, batch_b):
+            assert a.version_counts() == b.version_counts()
+    with pytest.raises(ValueError):
+        slice_many_programs(jobs, backend="fiber")
+
+
+# -- the cache CLI -----------------------------------------------------------------
+
+
+def run_cli(argv):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+def _run_cli_subprocess(argv):
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.check_output(
+        [sys.executable, "-m", "repro"] + argv, env=env, text=True
+    )
+
+
+def test_cache_cli_stats_and_clear(tmp_path):
+    cache = str(tmp_path / "cache")
+    source_file = tmp_path / "fig1.tc"
+    source_file.write_text(FIG1_SOURCE)
+
+    cold = run_cli(["slice-batch", str(source_file), "--cache-dir", cache])
+    assert "front half cold" in cold
+    # Same process, same source: open_session reuses the live session
+    # (the in-memory layer sits above the store).
+    again = run_cli(["slice-batch", str(source_file), "--cache-dir", cache])
+    assert "slice hits/misses 1/1" in again
+    # A fresh process is what the store exists for: warm front half,
+    # slices served from disk.
+    warm = _run_cli_subprocess(
+        ["slice-batch", str(source_file), "--cache-dir", cache]
+    )
+    assert "front half warm" in warm
+    assert "persist hits/misses 1/0" in warm
+
+    stats = run_cli(["cache", "stats", "--cache-dir", cache])
+    assert "programs:     1" in stats
+    assert "slice" in stats and "fronthalf" in stats
+
+    cleared = run_cli(["cache", "clear", "--cache-dir", cache])
+    assert "removed" in cleared
+    stats = run_cli(["cache", "stats", "--cache-dir", cache])
+    assert "entries:      0" in stats
