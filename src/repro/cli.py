@@ -13,7 +13,11 @@ Commands:
   workers (``--backend thread`` or ``process``), and report
   per-criterion sizes plus cache stats.  ``--cache-dir DIR`` backs the
   session with the persistent on-disk store, so re-running the batch
-  in a new process answers from disk.
+  in a new process answers from disk.  ``--reuse-from PREV_FILE``
+  opens the session for a previous revision of the file and
+  incrementally updates it to the current text (unchanged procedures
+  keep their PDGs and saturations; see
+  :mod:`repro.engine.incremental`).
 * ``cache``     — manage the persistent store: ``cache stats`` and
   ``cache clear`` (both honor ``--cache-dir``, default
   ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
@@ -108,7 +112,20 @@ def cmd_slice_batch(args):
         source = handle.read()
     if args.jobs is not None and args.jobs < 1:
         raise SystemExit("error: --jobs must be at least 1")
-    session = repro.open_session(source, cache_dir=args.cache_dir)
+    update = None
+    if args.reuse_from:
+        # Incremental path: open (or revive) the session for the
+        # previous revision of the file and update it to the current
+        # text — unchanged procedures keep their PDGs and saturations.
+        try:
+            with open(args.reuse_from) as handle:
+                previous = handle.read()
+            session = repro.open_session(previous, cache_dir=args.cache_dir)
+            update = session.update_source(source)
+        except Exception as exc:
+            raise SystemExit("error: --reuse-from update failed: %s" % exc)
+    else:
+        session = repro.open_session(source, cache_dir=args.cache_dir)
     prints = session.sdg.print_call_vertices()
     if not prints:
         raise SystemExit("error: the program has no print statements")
@@ -149,12 +166,26 @@ def cmd_slice_batch(args):
             stats["slice_misses"],
         )
     )
+    if update is not None:
+        lines.append(
+            "reuse: %d/%d procedures kept, %d saturations kept / %d dropped (%s path)"
+            % (
+                update["procs_reused"],
+                update["procs_reused"] + update["procs_rebuilt"],
+                update.get("saturations_kept", 0),
+                update.get("saturations_dropped", 0),
+                "fast" if update["fast_path"] else "slow",
+            )
+        )
     if session.store is not None:
         lines.append(
-            "store: %s (front half %s; persist hits/misses %d/%d)"
+            "store: %s (front half %s, %d/%d procedure parts; "
+            "persist hits/misses %d/%d)"
             % (
                 session.store.cache_dir,
                 "warm" if stats["front_half_from_store"] else "cold",
+                stats["front_half_parts_hits"],
+                stats["front_half_parts_total"],
                 stats["persist_hits"],
                 stats["persist_misses"],
             )
@@ -264,6 +295,14 @@ def build_parser():
         "--cache-dir",
         default=None,
         help="back the session with the persistent slice store at DIR",
+    )
+    p_batch.add_argument(
+        "--reuse-from",
+        dest="reuse_from",
+        default=None,
+        metavar="PREV_FILE",
+        help="incrementally update the session for PREV_FILE (a previous "
+        "revision of FILE) instead of building from scratch",
     )
     p_batch.set_defaults(func=cmd_slice_batch)
 

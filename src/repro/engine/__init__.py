@@ -6,6 +6,10 @@
   thread and process backends.
 * :mod:`repro.engine.canonical` — canonical cache keys for criterion
   specs, plus the stable digests the on-disk store names entries by.
+* :mod:`repro.engine.incremental` — per-procedure content keys and the
+  :meth:`SlicingSession.update_source` machinery: after a source edit,
+  only changed procedures are rebuilt and only the saturations their
+  PDS rules touch are invalidated.
 * :mod:`repro.engine.parallel` — :func:`slice_many_programs`, the
   multi-program batch driver (one worker per program).
 
@@ -20,6 +24,7 @@ from repro.engine.canonical import (
     resolve_criterion_spec,
     stable_key_digest,
 )
+from repro.engine.incremental import procedure_keys
 from repro.engine.parallel import slice_many_programs
 from repro.engine.session import SlicingSession
 
@@ -29,6 +34,7 @@ __all__ = [
     "automaton_key",
     "canonical_key",
     "is_stable_key",
+    "procedure_keys",
     "resolve_criterion_spec",
     "slice_many_programs",
     "stable_key_digest",

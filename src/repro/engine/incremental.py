@@ -1,0 +1,552 @@
+"""Incremental re-slicing: per-procedure content keys and front-half
+reuse across source edits.
+
+The session engine's front half — parse, check, SDG build, PDS
+encoding, ``Poststar(entry_main)`` — is keyed by whole-source hash, so
+historically a one-token edit repaid all of it.  This module makes the
+front half assemblable from per-procedure parts and teaches
+:class:`~repro.engine.session.SlicingSession` to *update* in place:
+
+* :func:`procedure_keys` content-addresses every procedure by the
+  sha256 of its normalized lexeme stream
+  (:func:`repro.lang.pretty.pretty_proc` of the checked, lowered AST),
+  its own computed interface, the interfaces of its direct callees,
+  and a program-level signature (rendered global declarations).  The
+  interface captures exactly what the PDG builders consume across
+  procedure boundaries — parameter kinds, which ref parameters are
+  modified, formal-in/out globals (``MayRef``/``MayMod``/``MustMod``),
+  return capture, and ``may_exit`` — so transitive analysis changes
+  propagate into keys without diffing graphs.
+
+* :func:`update_session` diffs old and new keys, lifts the unchanged
+  procedures' PDGs out of the old graph (re-keyed onto the new parse's
+  statement uids — content-key equality makes the ASTs token-identical),
+  rebuilds only the changed PDGs via :func:`repro.sdg.assemble_sdg`
+  (which numbers the result identically to a cold build), and prunes
+  the session memo:
+
+  - **fast path** — every rebuilt procedure has the same
+    :meth:`~repro.sdg.parts.ProcPart.shape_key` as before (label-only
+    edits: changed constants, renamed locals, reworded prints): the
+    PDS is unchanged, the old encoding and *every* saturation are
+    kept, and slice results survive whenever their trimmed ``A1``
+    touches no changed procedure;
+  - **slow path** — dependence structure changed: the PDS is
+    re-encoded, and a memoized saturation is kept (symbols renamed
+    through the relocation maps) only when its trimmed automaton
+    touches no PDS rule of a changed procedure — no vertex of a
+    changed procedure and no call site in or on one.  Prestar entries
+    for ``contexts="reachable"`` criteria additionally require the
+    shared Poststar to have survived, because their query automaton
+    was derived from it.  Slice results are conservatively recomputed
+    (cheap: their saturation is the expensive part and it hits).
+
+Why the keep-rule is sound: a saturation can only grow or shrink
+through a rule that the edit added or removed, and every such rule
+mentions a changed procedure's vertex or a call site in/on a changed
+procedure either on its left-hand side or in its right-hand word.  The
+first changed rule used in any new derivation therefore needs a
+configuration *already accepted by the old automaton* that mentions
+one of those symbols — which is exactly what the trimmed-symbol check
+rules out.  (The reachable-contexts caveat exists because those query
+automata bake in the old Poststar language, which the check cannot
+see; they are kept only when the Poststar itself is provably intact.)
+
+Feature-removal results (forward cones) are always dropped on update;
+they recompute through the kept Poststar.
+"""
+
+import hashlib
+import time
+from concurrent.futures import Future
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.modref import compute_modref
+from repro.engine.canonical import AUTOMATON, CONFIGS, VERTICES
+from repro.fsa.automaton import FiniteAutomaton
+from repro.lang import check, parse
+from repro.lang.pretty import pretty_global, pretty_proc
+from repro.pds import encode_sdg
+from repro.sdg.parts import ProcPart, extract_part
+from repro.sdg.sdg_builder import assemble_sdg
+from repro.store import source_hash
+
+#: session memo key of the shared ``Poststar(entry_main)`` saturation
+REACHABLE_KEY = ("reachable-configs",)
+
+
+# -- the front end -----------------------------------------------------------------
+
+
+def front_end(source):
+    """Parse + check + lower indirect calls.  Returns ``(program,
+    info)`` — the AST every content key is computed over (keys must see
+    the *lowered* program, so a changed function-pointer target set
+    shows up as changed dispatch-procedure text)."""
+    program = parse(source)
+    info = check(program)
+    if info.has_indirect_calls:
+        from repro.core import lower_indirect_calls
+
+        program, info = lower_indirect_calls(program, info)
+    return program, info
+
+
+# -- content keys ------------------------------------------------------------------
+
+
+def program_signature(program):
+    """The program-level context a procedure's meaning depends on
+    beyond its own text: the global declarations, in order (order
+    matters — rendered slices emit globals in declaration order)."""
+    return "\n".join(pretty_global(decl) for decl in program.globals)
+
+
+def interface_signature(name, info, modref, may_exit):
+    """Everything callers' PDGs consume about procedure ``name``: the
+    shape of its call sites (actual-in/out inventory) and its own
+    formal-in/out inventory.  Computed from the whole-program analyses,
+    so a transitive side-effect change deep in the call graph changes
+    the interfaces along the way up."""
+    proc = info.procs[name].proc
+    may_mod = modref.may_mod[name]
+    return (
+        proc.ret,
+        tuple(
+            (param.kind, param.kind == "ref" and param.name in may_mod)
+            for param in proc.params
+        ),
+        tuple(sorted(modref.ref_in_globals(name, info.global_names))),
+        tuple(sorted(modref.mod_out_globals(name, info.global_names))),
+        name in may_exit,
+    )
+
+
+def procedure_keys(program, info, call_graph=None, modref=None):
+    """Per-procedure content keys: name -> sha256 hex digest.
+
+    A key covers the procedure's normalized lexeme stream, its own
+    interface, its direct callees' interfaces (in sorted name order),
+    and the program signature.  Two procedures get equal keys exactly
+    when their PDGs — vertices, labels, dependences, and call-site
+    wiring — are guaranteed identical, so keys are stable across
+    whitespace/comment-only edits and across processes, and distinct
+    under any semantic edit.
+    """
+    keys, _call_graph, _modref = keys_and_analyses(program, info, call_graph, modref)
+    return keys
+
+
+def keys_and_analyses(program, info, call_graph=None, modref=None):
+    """:func:`procedure_keys` plus the whole-program analyses it
+    computed along the way (callers feed them to
+    :func:`repro.sdg.assemble_sdg` instead of recomputing)."""
+    if call_graph is None:
+        call_graph = build_call_graph(program)
+    if modref is None:
+        modref = compute_modref(program, info, call_graph)
+    may_exit = call_graph.may_exit()
+    prog_sig = program_signature(program)
+    interfaces = {
+        proc.name: interface_signature(proc.name, info, modref, may_exit)
+        for proc in program.procs
+    }
+    keys = {}
+    for proc in program.procs:
+        payload = (
+            prog_sig,
+            pretty_proc(proc),
+            interfaces[proc.name],
+            tuple(
+                (callee, interfaces[callee])
+                for callee in sorted(call_graph.callees(proc.name))
+            ),
+        )
+        keys[proc.name] = hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+    return keys, call_graph, modref
+
+
+def session_procedure_keys(session):
+    """The (cached) content keys of a session's current front half."""
+    if session._proc_keys is None:
+        session._proc_keys = procedure_keys(
+            session.program,
+            session.info,
+            getattr(session.sdg, "call_graph", None),
+            getattr(session.sdg, "modref", None),
+        )
+    return session._proc_keys
+
+
+# -- store-backed cold assembly ----------------------------------------------------
+
+
+def load_front_half(source, store):
+    """Build a front half, assembling per-procedure parts from the
+    store's content-addressed table when one is attached.
+
+    Returns ``(program, info, sdg, proc_keys, parts_hit, parts_total)``
+    (``proc_keys`` is None without a store — sessions compute keys
+    lazily on first update).
+    """
+    program, info = front_end(source)
+    if store is None:
+        sdg, _relocations = assemble_sdg(program, info)
+        # parts_total 0: no store was consulted, so the stats must not
+        # read as "N parts missed".
+        return program, info, sdg, None, 0, 0
+    keys, call_graph, modref = keys_and_analyses(program, info)
+    parts = {}
+    for proc in program.procs:
+        part = store.get_proc(keys[proc.name])
+        if isinstance(part, ProcPart) and part.name == proc.name:
+            try:
+                # The donor AST is token-identical (same content key);
+                # re-key the part onto this parse's statement uids.
+                parts[proc.name] = part.retarget_uids(proc)
+            except ValueError:
+                pass  # defensive: a mismatched part is just a miss
+    sdg, _relocations = assemble_sdg(
+        program, info, parts, call_graph=call_graph, modref=modref
+    )
+    for proc in program.procs:
+        if proc.name not in parts:
+            store.put_proc(keys[proc.name], extract_part(sdg, proc.name))
+    return program, info, sdg, keys, len(parts), len(program.procs)
+
+
+# -- memo remapping ----------------------------------------------------------------
+
+
+def _owned_symbols(sdg, names):
+    """The PDS stack symbols "owned" by the given procedures: their
+    vertex ids plus the labels of call sites inside them and on them.
+    Every PDS rule the procedures contribute to — intraprocedural,
+    call/param-in at their sites, param-out of their formal-outs —
+    mentions at least one owned symbol."""
+    symbols = set()
+    for name in names:
+        symbols.update(sdg.proc_vertices.get(name, ()))
+        symbols.update(sdg.sites_in_proc.get(name, ()))
+        symbols.update(sdg.sites_on_proc.get(name, ()))
+    return symbols
+
+
+def _touched_symbols(automaton):
+    """Stack symbols on the automaton's useful (trimmed) part — the
+    symbols its accepted configurations can mention."""
+    return {
+        symbol
+        for (_src, symbol, _dst) in automaton.trim().transitions()
+        if symbol is not None
+    }
+
+
+def remap_automaton(automaton, vid_map, site_map):
+    """Rename an automaton's transition symbols through the relocation
+    maps.  Transitions labeled by symbols of rebuilt procedures (absent
+    from the maps) are dropped; callers must have already checked, via
+    :func:`_touched_symbols`, that no such symbol is on an accepting
+    path, so the accepted language is preserved.  States are opaque and
+    kept as-is."""
+    result = FiniteAutomaton(initials=automaton.initials, finals=automaton.finals)
+    for state in automaton.states:
+        result.add_state(state)
+    for (src, symbol, dst) in automaton.transitions():
+        if symbol is None:
+            result.add_transition(src, symbol, dst)
+            continue
+        if isinstance(symbol, int):
+            new_symbol = vid_map.get(symbol)
+        else:
+            new_symbol = site_map.get(symbol)
+        if new_symbol is not None:
+            result.add_transition(src, new_symbol, dst)
+    return result
+
+
+def _remap_criterion_key(key, vid_map, site_map):
+    """Rename a canonical criterion key through the relocation maps, or
+    return None when it references a rebuilt procedure's symbols (the
+    entry then has no counterpart in the new front half)."""
+    kind = key[0]
+    if kind == VERTICES:
+        vids = []
+        for vid in key[1]:
+            if vid not in vid_map:
+                return None
+            vids.append(vid_map[vid])
+        return (VERTICES, tuple(sorted(vids)), key[2])
+    if kind == CONFIGS:
+        configs = []
+        for vid, context in key[1]:
+            if vid not in vid_map:
+                return None
+            sites = []
+            for site in context:
+                if site not in site_map:
+                    return None
+                sites.append(site_map[site])
+            configs.append((vid_map[vid], tuple(sites)))
+        return (CONFIGS, tuple(sorted(configs)))
+    if kind == AUTOMATON:
+        transitions = set()
+        for (src, symbol, dst) in key[3]:
+            if isinstance(symbol, int):
+                symbol = vid_map.get(symbol)
+            elif isinstance(symbol, str):
+                symbol = site_map.get(symbol)
+            if symbol is None:
+                return None
+            transitions.add((src, symbol, dst))
+        return (AUTOMATON, key[1], key[2], frozenset(transitions))
+    return None
+
+
+def _needs_poststar(key):
+    """Whether a prestar memo key's query automaton was derived from
+    the shared Poststar (reachable-contexts vertex criteria): such
+    entries bake the old reachable-configuration language into their
+    query and may only be kept while that language is provably
+    unchanged.  Configuration-set and automaton criteria pin their
+    contexts explicitly and are independent of the Poststar."""
+    return key[0] == VERTICES and len(key) == 3 and key[2] == "reachable"
+
+
+# -- the update itself -------------------------------------------------------------
+
+
+def update_session(session, new_source):
+    """Re-point ``session`` at ``new_source``, reusing everything the
+    edit provably left intact.  Raises (leaving the session untouched)
+    if the new text does not parse or check.  Returns a summary dict
+    (also stored as ``session.last_update``)."""
+    if session.source is None:
+        raise ValueError("update_source needs a session built from source text")
+    t0 = time.perf_counter()
+    new_hash = source_hash(new_source)
+    if new_hash == session.source_hash:
+        return _finish(session, t0, fast=True, noop=True)
+
+    # Front end on the new text; any error propagates before the
+    # session is touched.
+    program, info = front_end(new_source)
+    new_keys, call_graph, modref = keys_and_analyses(program, info)
+    old_keys = session_procedure_keys(session)
+    old_names = [proc.name for proc in session.program.procs]
+    new_names = [proc.name for proc in program.procs]
+    kept = set(
+        name
+        for name in new_names
+        if name in old_keys and old_keys[name] == new_keys[name]
+    )
+    changed = [name for name in new_names if name not in kept]
+    new_name_set = set(new_names)
+    removed = [name for name in old_names if name not in new_name_set]
+
+    # Lift the unchanged procedures' PDGs out of the old graph and
+    # re-key them onto the new parse (token-identical by content key).
+    old_sdg = session.sdg
+    parts = {}
+    for name in list(kept):
+        try:
+            parts[name] = extract_part(old_sdg, name).retarget_uids(
+                program.proc(name)
+            )
+        except ValueError:  # defensive: rebuild rather than trust a bad part
+            kept.discard(name)
+            changed.append(name)
+    new_sdg, relocations = assemble_sdg(
+        program, info, parts, call_graph=call_graph, modref=modref
+    )
+
+    # Fast path: same procedure sequence (which rules out removals) and
+    # every rebuilt procedure kept its dependence shape => the new PDS
+    # is the old PDS.
+    fast = new_names == old_names
+    if fast:
+        for name in changed:
+            old_shape = extract_part(old_sdg, name).shape_key()
+            if old_shape != extract_part(new_sdg, name).shape_key():
+                fast = False
+                break
+    vid_map, site_map = {}, {}
+    for part_vid_map, part_site_map in relocations.values():
+        vid_map.update(part_vid_map)
+        site_map.update(part_site_map)
+    if fast:
+        # Shape equality in program order implies identical numbering;
+        # verify rather than assume.
+        fast = all(old == new for old, new in vid_map.items()) and all(
+            old == new for old, new in site_map.items()
+        )
+
+    if fast:
+        encoding = session.encoding
+        encoding.sdg = new_sdg
+        new_sdg._pds_encoding = encoding
+    else:
+        encoding = encode_sdg(new_sdg)
+
+    owned = _owned_symbols(old_sdg, set(changed) | set(removed))
+    new_futures, counts = _prune_memo(
+        session, new_sdg, encoding, fast, owned, vid_map, site_map
+    )
+
+    with session._lock:
+        old_hash = session.source_hash
+        session.source = new_source
+        session.source_hash = new_hash
+        session.program = program
+        session.info = info
+        session.sdg = new_sdg
+        session.encoding = encoding
+        session._proc_keys = new_keys
+        session._futures = new_futures
+        session._stats["updates"] += 1
+        session._stats["procs_reused"] += len(kept)
+        session._stats["procs_rebuilt"] += len(changed)
+        for name, value in counts.items():
+            session._stats[name] += value
+
+    if session.store is not None:
+        if not session.store.has_program(new_hash):
+            # Persist the bundle the way a cold build would: without
+            # the Poststar cached on the encoding (saturations are not
+            # store objects yet — ROADMAP open item — and would bloat
+            # the bundle on the editor-loop hot path).
+            reachable = encoding.__dict__.pop("_reachable_configs", None)
+            try:
+                session.store.put_program(new_hash, new_sdg)
+            finally:
+                if reachable is not None:
+                    encoding._reachable_configs = reachable
+        for name in changed:
+            session.store.put_proc(new_keys[name], extract_part(new_sdg, name))
+
+    import repro
+
+    repro._session_rekeyed(session, old_hash)
+    return _finish(
+        session,
+        t0,
+        fast=fast,
+        noop=False,
+        procs_reused=len(kept),
+        procs_rebuilt=len(changed),
+        procs_removed=len(removed),
+        **counts
+    )
+
+
+def _prune_memo(session, new_sdg, encoding, fast, owned, vid_map, site_map):
+    """Decide, entry by entry, what survives the update.  Returns the
+    new futures table and the kept/dropped counters."""
+    with session._lock:
+        snapshot = dict(session._futures)
+    new_futures = {}
+    counts = {
+        "saturations_kept": 0,
+        "saturations_dropped": 0,
+        "results_kept": 0,
+        "results_dropped": 0,
+    }
+    kept_slice_keys = set()
+    poststar_kept = False
+
+    def done(future):
+        return future.done() and future.exception() is None
+
+    # Saturations first: the Poststar verdict gates reachable-contexts
+    # Prestar entries, and slice survival gates executables.  The
+    # shared Poststar is decided before the loop so doomed
+    # reachable-mode entries can be dropped without paying a trim.
+    saturations = [
+        (key, future)
+        for (cache_kind, key), future in snapshot.items()
+        if cache_kind == "saturation" and done(future)
+    ]
+    saturations.sort(key=lambda item: item[0] != REACHABLE_KEY)
+    for key, future in saturations:
+        value = future.result()
+        if fast:
+            new_futures[("saturation", key)] = future
+            counts["saturations_kept"] += 1
+            if key == REACHABLE_KEY:
+                poststar_kept = True
+            continue
+        if key == REACHABLE_KEY:
+            if _touched_symbols(value) & owned:
+                counts["saturations_dropped"] += 1
+                continue
+            remapped = remap_automaton(value, vid_map, site_map)
+            # The criterion constructors read the shared Poststar off
+            # the encoding; transplant the survivor.
+            encoding._reachable_configs = remapped
+            poststar_kept = True
+            new_key = key
+        else:
+            if _needs_poststar(key[1]) and not poststar_kept:
+                # Reachable-contexts query automata bake in the old
+                # Poststar language; without it the entry is
+                # unverifiable (an edit can create contexts that an
+                # empty or narrow cone never witnessed).
+                counts["saturations_dropped"] += 1
+                continue
+            inner = _remap_criterion_key(key[1], vid_map, site_map)
+            if inner is None or _touched_symbols(value) & owned:
+                counts["saturations_dropped"] += 1
+                continue
+            new_key = (key[0], inner)
+            remapped = remap_automaton(value, vid_map, site_map)
+        replacement = Future()
+        replacement.set_result(remapped)
+        new_futures[("saturation", new_key)] = replacement
+        counts["saturations_kept"] += 1
+
+    for (cache_kind, key), future in snapshot.items():
+        if cache_kind != "slice" or not done(future):
+            continue
+        value = future.result()
+        if fast and not (_touched_symbols(value.a1) & owned):
+            # The slice's whole cone lies in unchanged procedures: the
+            # result (and its rendered text) is still exact.  Re-point
+            # its front-half references at the new graph.
+            value.source_sdg = new_sdg
+            value.encoding = encoding
+            new_futures[(cache_kind, key)] = future
+            kept_slice_keys.add(key)
+            counts["results_kept"] += 1
+        else:
+            counts["results_dropped"] += 1
+
+    for (cache_kind, key), future in snapshot.items():
+        if cache_kind == "executable" and done(future):
+            # Rides its slice's fate; not counted separately (the
+            # results_* counters tally logical results).
+            if key in kept_slice_keys:
+                new_futures[(cache_kind, key)] = future
+        elif cache_kind in ("feature", "feature_clean") and done(future):
+            # Forward cones; conservatively recomputed (their Poststar,
+            # the expensive half, is kept when possible).
+            counts["results_dropped"] += 1
+
+    return new_futures, counts
+
+
+def _finish(session, t0, fast, noop, **extra):
+    summary = {
+        "noop": noop,
+        "fast_path": fast,
+        "procs_reused": extra.pop("procs_reused", len(session.program.procs)),
+        "procs_rebuilt": extra.pop("procs_rebuilt", 0),
+        "procs_removed": extra.pop("procs_removed", 0),
+        "saturations_kept": extra.pop("saturations_kept", 0),
+        "saturations_dropped": extra.pop("saturations_dropped", 0),
+        "results_kept": extra.pop("results_kept", 0),
+        "results_dropped": extra.pop("results_dropped", 0),
+        "update_seconds": time.perf_counter() - t0,
+    }
+    summary.update(extra)
+    session.last_update = summary
+    return summary

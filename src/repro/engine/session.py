@@ -25,7 +25,12 @@ front half:
   a thread pool (``backend="thread"``, sharing the read-only encoding)
   or a process pool (``backend="process"``, each worker rebuilding or
   store-loading the front half once and computing true CPU-parallel
-  slices), deduplicating identical criteria either way.
+  slices), deduplicating identical criteria either way;
+* :meth:`SlicingSession.update_source` re-points the session at an
+  edited text in place: per-procedure content keys decide which PDGs
+  are rebuilt, and only the memoized saturations whose automata touch
+  a changed procedure's PDS rules are invalidated (see
+  :mod:`repro.engine.incremental`).
 
 Sessions are thread-safe: the memo tables hold one future per key, so
 concurrent submissions of the same criterion compute it exactly once.
@@ -83,7 +88,10 @@ class SlicingSession(object):
         t0 = time.perf_counter()
         self.store = store
         self.source_hash = None
+        self._proc_keys = None  # per-procedure content keys, computed lazily
+        self.last_update = None  # summary of the most recent update_source
         front_half_cached = False
+        parts_hit, parts_total = 0, 0
         if source is not None:
             self.source_hash = _source_hash(source)
             if sdg is None and store is not None:
@@ -93,9 +101,20 @@ class SlicingSession(object):
                     program, info = cached.program, cached.info
                     front_half_cached = True
             if sdg is None:
-                import repro
+                from repro.engine.incremental import load_front_half
 
-                program, info, sdg = repro.load_source(source)
+                # With a store attached this assembles the front half
+                # from content-addressed per-procedure parts where warm
+                # (a partial hit even when the whole-program bundle
+                # misses); storeless it is a plain cold build.
+                (
+                    program,
+                    info,
+                    sdg,
+                    self._proc_keys,
+                    parts_hit,
+                    parts_total,
+                ) = load_front_half(source, store)
         if sdg is None:
             raise ValueError("SlicingSession needs source text or an SDG")
         self.source = source
@@ -113,6 +132,15 @@ class SlicingSession(object):
         self._stats = {
             "load_seconds": time.perf_counter() - t0,
             "front_half_from_store": front_half_cached,
+            "front_half_parts_hits": parts_hit,
+            "front_half_parts_total": parts_total,
+            "updates": 0,
+            "procs_reused": 0,
+            "procs_rebuilt": 0,
+            "saturations_kept": 0,
+            "saturations_dropped": 0,
+            "results_kept": 0,
+            "results_dropped": 0,
             "slice_hits": 0,
             "slice_misses": 0,
             "saturation_hits": 0,
@@ -268,6 +296,34 @@ class SlicingSession(object):
             ("reachable-configs",),
             lambda: reachable_configs_automaton(self.encoding),
         )
+
+    def update_source(self, new_source):
+        """Re-point this session at an edited version of its program,
+        reusing everything the edit provably left intact (see
+        :mod:`repro.engine.incremental`).
+
+        Procedures whose content key — normalized lexeme stream plus
+        computed interface plus direct callees' interfaces — is
+        unchanged keep their PDGs (and their vertex ids, when no
+        earlier procedure changed size); only changed procedures are
+        rebuilt, the interprocedural edges are re-stitched, and exactly
+        the memoized saturations whose automata touch a changed
+        procedure's PDS rules are invalidated.  The assembled front
+        half is numbered identically to a cold build of the new text,
+        so subsequent queries are byte-identical to a fresh session's.
+
+        Raises on unparseable/ill-typed text, leaving the session
+        untouched.  Not linearizable with in-flight queries: criteria
+        being computed concurrently finish against the old front half
+        and are dropped from the memo.
+
+        Returns a summary dict (``procs_reused``, ``procs_rebuilt``,
+        ``saturations_kept``, ``fast_path``, ...), also kept as
+        ``session.last_update``.
+        """
+        from repro.engine.incremental import update_session
+
+        return update_session(self, new_source)
 
     @property
     def stats(self):

@@ -121,25 +121,39 @@ def _param(param):
     return "int %s" % param.name
 
 
+def pretty_global(decl):
+    """Render one global declaration as a source line."""
+    keyword = "fnptr" if decl.is_fnptr else "int"
+    if decl.init is not None:
+        return "%s %s = %s;" % (keyword, decl.name, _expr(decl.init))
+    return "%s %s;" % (keyword, decl.name)
+
+
+def pretty_proc(proc):
+    """Render one procedure as source text.
+
+    This is the *normalized lexeme stream* of the procedure: whitespace
+    and comments are gone, and expressions carry only structurally
+    necessary parentheses — the rendering the incremental engine's
+    per-procedure content keys hash.
+    """
+    lines = [
+        "%s %s(%s) {"
+        % (proc.ret, proc.name, ", ".join(_param(param) for param in proc.params))
+    ]
+    _block(proc.body, 1, lines)
+    lines.append("}")
+    return "\n".join(lines)
+
+
 def pretty(program):
     """Render ``program`` as TinyC source text."""
     lines = []
     for decl in program.globals:
-        keyword = "fnptr" if decl.is_fnptr else "int"
-        if decl.init is not None:
-            lines.append("%s %s = %s;" % (keyword, decl.name, _expr(decl.init)))
-        else:
-            lines.append("%s %s;" % (keyword, decl.name))
+        lines.append(pretty_global(decl))
     if program.globals:
         lines.append("")
     for proc in program.procs:
-        header = "%s %s(%s) {" % (
-            proc.ret,
-            proc.name,
-            ", ".join(_param(param) for param in proc.params),
-        )
-        lines.append(header)
-        _block(proc.body, 1, lines)
-        lines.append("}")
+        lines.append(pretty_proc(proc))
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"

@@ -21,7 +21,8 @@ from repro.sdg.graph import (
     Vertex,
     VertexKind,
 )
-from repro.sdg.sdg_builder import build_sdg
+from repro.sdg.parts import ProcPart, extract_part
+from repro.sdg.sdg_builder import assemble_sdg, build_sdg
 from repro.sdg.slice_ops import (
     backward_closure_slice,
     backward_reach,
@@ -38,13 +39,16 @@ __all__ = [
     "LIBRARY",
     "PARAM_IN",
     "PARAM_OUT",
+    "ProcPart",
     "SUMMARY",
     "SystemDependenceGraph",
     "Vertex",
     "VertexKind",
+    "assemble_sdg",
     "backward_closure_slice",
     "backward_reach",
     "build_sdg",
+    "extract_part",
     "compute_summary_edges",
     "forward_closure_slice",
     "forward_reach",

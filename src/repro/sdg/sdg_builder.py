@@ -4,6 +4,15 @@ Pipeline: semantic info -> call graph -> mod/ref -> one PDG per
 procedure -> interprocedural edges (call, parameter-in, parameter-out)
 -> optional summary edges.
 
+The per-procedure step has two interchangeable paths: build the PDG
+from the AST (:class:`~repro.sdg.pdg_builder.PDGBuilder`), or relocate
+a previously built :class:`~repro.sdg.parts.ProcPart` into the graph.
+Both draw vertex ids and call-site labels from the same counters in
+program order, so an SDG assembled from any mix of fresh builds and
+reused parts is numbered identically to a cold build of the same
+program — the invariant the incremental engine's byte-identical
+guarantee rests on.
+
 Programs containing indirect calls must be lowered first
 (:func:`repro.core.funcptr.lower_indirect_calls`); the builder rejects
 them otherwise.
@@ -28,20 +37,53 @@ def build_sdg(program, info, with_summary=True):
     Returns:
         a :class:`SystemDependenceGraph`.
     """
-    call_graph = build_call_graph(program)
-    modref = compute_modref(program, info, call_graph)
+    sdg, _relocations = assemble_sdg(program, info, with_summary=with_summary)
+    return sdg
+
+
+def assemble_sdg(program, info, parts=None, with_summary=True, call_graph=None, modref=None):
+    """Build an SDG, relocating reusable per-procedure parts.
+
+    Args:
+        program: the checked AST (reused parts must have been
+            retargeted onto its procedures' statement uids via
+            :meth:`~repro.sdg.parts.ProcPart.retarget_uids`).
+        info: the matching :class:`~repro.lang.sema.ProgramInfo`.
+        parts: optional mapping of procedure name to
+            :class:`~repro.sdg.parts.ProcPart`; procedures not in the
+            mapping are built from the AST.
+        with_summary: recompute summary edges over the assembled graph
+            (they depend on transitive callee contents and are never
+            carried by a part).
+        call_graph / modref: precomputed analyses of ``program`` (e.g.
+            from content-key computation); computed here otherwise.
+
+    Returns:
+        ``(sdg, relocations)`` where ``relocations`` maps each reused
+        procedure name to its ``(vid_map, site_map)`` donor-to-new
+        renaming.
+    """
+    if call_graph is None:
+        call_graph = build_call_graph(program)
+    if modref is None:
+        modref = compute_modref(program, info, call_graph)
     sdg = SystemDependenceGraph(program, info)
     sdg.call_graph = call_graph
     sdg.modref = modref
 
     context = BuildContext(sdg, program, info, modref, call_graph)
+    relocations = {}
     for proc in program.procs:
-        PDGBuilder(context, proc).build()
+        part = parts.get(proc.name) if parts else None
+        if part is None:
+            PDGBuilder(context, proc).build()
+        else:
+            relocations[proc.name] = part.add_to(sdg, context)
 
     _connect_pdgs(sdg)
     if with_summary:
         compute_summary_edges(sdg)
-    return sdg
+    return sdg, relocations
 
 
 def _connect_pdgs(sdg):

@@ -9,11 +9,17 @@ text), one file per cached object inside it::
         slice-<key_digest>.slc         # pickled SpecializationResult
         feature-<key_digest>.slc       # pickled feature-removal result
         feature_clean-<key_digest>.slc # pickled (raw, cleaned) slice pair
+      __procs__/
+        proc-<content_key>.slc         # pickled per-procedure ProcPart
 
 ``key_digest`` is :func:`repro.engine.canonical.stable_key_digest` of
 the same canonical criterion key the in-memory session memo uses, so
 the two cache layers can never disagree about which queries are "the
-same".
+same".  The ``__procs__`` table is content-addressed by
+:func:`repro.engine.incremental.procedure_keys` digests: an edited
+program whose whole-program bundle misses can still assemble its front
+half from the unchanged procedures' parts (a *partial* hit, counted by
+``proc_hits``/``proc_misses``).
 
 Entry format.  Every file is ``MAGIC | version | sha256(payload) |
 payload`` with the payload a pickle.  Reads verify all three prefixes;
@@ -50,6 +56,9 @@ _HEADER_LEN = len(MAGIC) + _VERSION_STRUCT.size + hashlib.sha256().digest_size
 _SUFFIX = ".slc"
 _TMP_SUFFIX = ".tmp"
 _FRONTHALF = "fronthalf"
+#: the content-addressed per-procedure table lives beside the
+#: per-program directories (source hashes are hex, so no collision)
+_PARTS_DIR = "__procs__"
 #: orphaned temp files older than this are swept during eviction/clear
 _TMP_GRACE_SECONDS = 60
 
@@ -102,6 +111,8 @@ class SliceStore(object):
         self._counters = {
             "hits": 0,
             "misses": 0,
+            "proc_hits": 0,
+            "proc_misses": 0,
             "stores": 0,
             "evictions": 0,
             "invalid_dropped": 0,
@@ -140,6 +151,30 @@ class SliceStore(object):
         self._count("stores")
         self._note_written(written)
 
+    def has_program(self, src_hash):
+        """Whether a front-half bundle exists on disk for a source hash
+        (existence only — the entry is still validated on read)."""
+        return os.path.exists(self._entry_path(src_hash, _FRONTHALF, None))
+
+    # -- the per-procedure table -------------------------------------------------
+
+    def get_proc(self, content_key):
+        """The cached :class:`~repro.sdg.parts.ProcPart` for a
+        procedure content key, or None.  Parts are content-addressed —
+        shared across every program (and every edit of one program)
+        whose procedure hashes to the same key — which is what makes a
+        *partial* front-half hit possible when the whole-program bundle
+        misses.  ``proc_hits``/``proc_misses`` count these lookups."""
+        value, ok = self._read(self._entry_path(_PARTS_DIR, "proc", content_key))
+        self._count("proc_hits" if ok else "proc_misses")
+        return value
+
+    def put_proc(self, content_key, part):
+        """Cache one procedure's part under its content key."""
+        written = self._write(self._entry_path(_PARTS_DIR, "proc", content_key), part)
+        self._count("stores")
+        self._note_written(written)
+
     # -- maintenance -----------------------------------------------------------
 
     def clear(self):
@@ -162,7 +197,9 @@ class SliceStore(object):
         programs = set()
         tables = {}
         for path, _size, _mtime in entries:
-            programs.add(os.path.basename(os.path.dirname(path)))
+            subdir = os.path.basename(os.path.dirname(path))
+            if subdir != _PARTS_DIR:
+                programs.add(subdir)
             table = os.path.basename(path).rsplit("-", 1)[0]
             if table.endswith(_SUFFIX):
                 table = table[: -len(_SUFFIX)]

@@ -98,6 +98,65 @@ def load_wc():
     return program, info, sdg
 
 
+def scaled_wc_source(categories=8):
+    """A wc at scale: the same scan-loop-feeding-counters structure,
+    with ``categories`` extra per-category counting procedures (digit
+    runs, punctuation, vowels, ... — here abstracted as residue
+    classes) each feeding its own report line.  Used by the
+    incremental-slicing benchmark: the per-category procedures are
+    mutually independent, so an edit to one leaves every other
+    report's slice untouched."""
+    lines = ["int cat_%d;" % index for index in range(categories)]
+    lines.append(WC_SOURCE[: WC_SOURCE.index("void scan()")].rstrip())
+    for index in range(categories):
+        lines.append(
+            "\nvoid count_cat_%d(int c) {\n"
+            "  if (c %% %d == %d) {\n"
+            "    cat_%d = cat_%d + 1;\n"
+            "  }\n"
+            "}" % (index, categories + 2, index, index, index)
+        )
+    calls = "".join(
+        "    count_cat_%d(c);\n" % index for index in range(categories)
+    )
+    lines.append(
+        "\nvoid scan() {\n"
+        "  int c = input();\n"
+        "  while (c != 0) {\n"
+        "    int space = is_space(c);\n"
+        "    count_char(c);\n"
+        "    count_line(c);\n"
+        "    count_word(c, space);\n"
+        + calls
+        + "    c = input();\n"
+        "  }\n"
+        "}"
+    )
+    inits = "".join("  cat_%d = 0;\n" % index for index in range(categories))
+    reports = "".join(
+        '  print("cat%d %%d\\n", cat_%d);\n' % (index, index)
+        for index in range(categories)
+    )
+    lines.append(
+        "\nint main() {\n"
+        "  lines = 0;\n"
+        "  words = 0;\n"
+        "  chars = 0;\n"
+        "  in_word = 0;\n"
+        "  max_line_len = 0;\n"
+        "  cur_line_len = 0;\n"
+        + inits
+        + "  scan();\n"
+        '  print("lines %d\\n", lines);\n'
+        '  print("words %d\\n", words);\n'
+        '  print("chars %d\\n", chars);\n'
+        + reports
+        + "  return 0;\n"
+        "}"
+    )
+    return "\n".join(lines) + "\n"
+
+
 def text_to_inputs(text):
     """Encode a text as the input stream wc consumes (0-terminated
     character codes)."""

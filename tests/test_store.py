@@ -198,9 +198,12 @@ def test_stored_entries_are_slim(tmp_path):
     sizes = {}
     for path in _entry_files(store):
         name = os.path.basename(path)
-        sizes[name.split("-")[0].replace(".slc", "")] = os.path.getsize(path)
-    assert set(sizes) == {"fronthalf", "slice", "feature", "feature_clean"}
-    for table in ("slice", "feature", "feature_clean"):
+        sizes[name.split("-")[0].replace(".slc", "")] = max(
+            os.path.getsize(path),
+            sizes.get(name.split("-")[0].replace(".slc", ""), 0),
+        )
+    assert set(sizes) == {"fronthalf", "slice", "feature", "feature_clean", "proc"}
+    for table in ("slice", "feature", "feature_clean", "proc"):
         assert sizes[table] < sizes["fronthalf"], (
             "%s entry (%d bytes) should be slim, not embed another front "
             "half (%d bytes)" % (table, sizes[table], sizes["fronthalf"])
@@ -379,3 +382,168 @@ def test_cache_cli_stats_and_clear(tmp_path):
     assert "removed" in cleared
     stats = run_cli(["cache", "stats", "--cache-dir", cache])
     assert "entries:      0" in stats
+
+
+# -- per-procedure content keys (the incremental layer's addressing) ---------------
+
+
+WS_VARIANT = (
+    "// leading comment\n"
+    + FIG1_SOURCE.replace("{", "{\n  /* noise */", 1).replace("  ", "    ")
+    + "\n\n"
+)
+
+
+def test_procedure_content_keys_ignore_whitespace_and_comments():
+    from repro.engine.incremental import front_end
+    from repro.engine import procedure_keys
+
+    base = procedure_keys(*front_end(FIG1_SOURCE))
+    noisy = procedure_keys(*front_end(WS_VARIANT))
+    assert base == noisy
+
+
+def test_procedure_content_keys_distinct_under_semantic_edits():
+    from repro.engine.incremental import front_end
+    from repro.engine import procedure_keys
+
+    base_program, base_info = front_end(FIG1_SOURCE)
+    base = procedure_keys(base_program, base_info)
+    # A constant change touches exactly one procedure's key.
+    edited = procedure_keys(*front_end(FIG1_SOURCE.replace("p(g2, 3)", "p(g2, 4)")))
+    changed = {name for name in base if base[name] != edited[name]}
+    assert len(changed) == 1
+    # A global-declaration edit changes the program signature: all keys.
+    moved = procedure_keys(*front_end(FIG1_SOURCE.replace("int g1;", "int g1 = 0;")))
+    assert all(base[name] != moved[name] for name in base)
+    # Renaming a procedure-local variable does not disturb the other
+    # procedures' keys.
+    local_src = (
+        "int g;\n"
+        "void helper() { int t = 2; g = t; }\n"
+        "int main() { helper(); print(\"%d\", g); return 0; }\n"
+    )
+    local_base = procedure_keys(*front_end(local_src))
+    local_renamed = procedure_keys(
+        *front_end(local_src.replace("int t = 2; g = t;", "int u = 2; g = u;"))
+    )
+    assert local_renamed["helper"] != local_base["helper"]
+    assert local_renamed["main"] == local_base["main"]
+
+
+def test_procedure_content_keys_capture_transitive_interfaces():
+    """A side-effect change deep in the call graph flips the interface
+    — and therefore the key — of every procedure on the way up."""
+    from repro.engine.incremental import front_end
+    from repro.engine import procedure_keys
+
+    source = (
+        "int g;\n"
+        "void leaf() { g = 1; }\n"
+        "void mid() { leaf(); }\n"
+        "int main() { mid(); print(\"%d\", g); return 0; }\n"
+    )
+    base = procedure_keys(*front_end(source))
+    # leaf stops modifying g: mid's and main's callee interfaces change.
+    edited = procedure_keys(*front_end(source.replace("g = 1;", "int x = 1;")))
+    assert all(base[name] != edited[name] for name in ("leaf", "mid", "main"))
+
+
+def test_procedure_content_keys_stable_across_processes(tmp_path):
+    """Keys are sha256 of deterministic renderings: a fresh interpreter
+    (fresh hash seed, fresh uid counters) computes the same digests."""
+    import json
+    import subprocess
+    import sys
+
+    from repro.engine.incremental import front_end
+    from repro.engine import procedure_keys
+
+    here = procedure_keys(*front_end(FIG1_SOURCE))
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    script = (
+        "import json, sys\n"
+        "from repro.engine.incremental import front_end\n"
+        "from repro.engine import procedure_keys\n"
+        "print(json.dumps(procedure_keys(*front_end(sys.stdin.read()))))\n"
+    )
+    env = dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED="12345")
+    there = json.loads(
+        subprocess.check_output(
+            [sys.executable, "-c", script], input=FIG1_SOURCE, env=env, text=True
+        )
+    )
+    assert there == here
+
+
+def test_store_proc_table_partial_hits(tmp_path):
+    """An edited program misses the whole-program bundle but assembles
+    its front half from the unchanged procedures' parts — and the
+    results are identical to a storeless cold session."""
+    from repro.workloads.wc import WC_SOURCE
+
+    cache = str(tmp_path / "cache")
+    writer = SlicingSession(WC_SOURCE, store=SliceStore(cache))
+    writer.slice(("print", 0))
+
+    edited = WC_SOURCE.replace("chars = chars + 1;", "chars = chars + 1;\n  int d = 1;")
+    reader = SlicingSession(edited, store=SliceStore(cache))
+    stats = reader.stats
+    assert stats["front_half_from_store"] is False
+    assert stats["front_half_parts_total"] == 6
+    assert stats["front_half_parts_hits"] == 5  # all but the edited proc
+    cold = SlicingSession(edited)
+    for index in range(len(cold.sdg.print_call_vertices())):
+        assert pretty(reader.executable(("print", index)).program) == pretty(
+            cold.executable(("print", index)).program
+        )
+    store_stats = reader.store.stats()
+    assert store_stats["proc_hits"] == 5 and store_stats["proc_misses"] == 1
+    # The parts table is not a "program" in the stats.
+    assert store_stats["programs"] == 2
+    assert store_stats["tables"]["proc"] >= 6
+
+
+def test_corrupt_proc_part_degrades_to_fresh_build(tmp_path):
+    cache = str(tmp_path / "cache")
+    SlicingSession(FIG1_SOURCE, store=SliceStore(cache))
+    parts_dir = os.path.join(cache, "__procs__")
+    for name in os.listdir(parts_dir):
+        path = os.path.join(parts_dir, name)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+    # Bundle also removed so the session must take the parts path.
+    for sub in os.listdir(cache):
+        if sub != "__procs__":
+            for name in os.listdir(os.path.join(cache, sub)):
+                os.unlink(os.path.join(cache, sub, name))
+    reader = SlicingSession(FIG1_SOURCE, store=SliceStore(cache))
+    assert reader.stats["front_half_parts_hits"] == 0
+    assert pretty(reader.executable().program) == pretty(
+        SlicingSession(FIG1_SOURCE).executable().program
+    )
+
+
+def test_cli_slice_batch_reuse_from(tmp_path):
+    from repro.workloads.wc import WC_SOURCE
+
+    previous = tmp_path / "wc_prev.tc"
+    current = tmp_path / "wc.tc"
+    previous.write_text(WC_SOURCE)
+    current.write_text(WC_SOURCE.replace("chars = chars + 1", "chars = chars + 2"))
+
+    out = run_cli(["slice-batch", str(current), "--reuse-from", str(previous)])
+    assert "reuse:" in out and "5/6 procedures kept" in out and "fast path" in out
+    # The updated session answers for the *current* text from now on.
+    import repro
+
+    session = repro.open_session(current.read_text())
+    assert session.stats["updates"] == 1
+
+    bad = tmp_path / "bad.tc"
+    bad.write_text("int main() { broken")
+    with pytest.raises(SystemExit):
+        run_cli(["slice-batch", str(previous), "--reuse-from", str(bad)])
