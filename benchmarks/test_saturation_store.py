@@ -1,0 +1,155 @@
+"""Saturation-store benchmark: a new criterion against a warm front
+half.
+
+The acceptance bar for the ``__sats__`` table: answering a criterion
+the store has *never seen* against a warm front half must be at least
+2x faster when the shared ``Poststar(entry_main)`` artifact is
+persisted than when ``__sats__`` has been cleared — because the warm
+path loads the relocatable artifact (and any Prestar sibling whose key
+matches) instead of re-saturating, leaving only the new criterion's
+own Prestar to compute.
+
+The subject program is a mutually recursive call web: Poststar has to
+saturate a rich context language, while the measured criterion's
+backward cone is a single trivial assignment — the shape a slicing
+service sees when a user asks about one new program point.
+
+Skip-safe on timer noise like the other benches: when the cold
+saturation is too fast to measure reliably, the pin is skipped rather
+than flaking.
+"""
+
+import os
+import shutil
+import time
+
+import pytest
+
+from repro.core import executable_program
+from repro.engine import SlicingSession
+from repro.lang import pretty
+from repro.store import SliceStore
+
+MIN_SPEEDUP = 2.0
+#: below this, the no-sats run is inside timer noise; skip the pin.
+MIN_MEASURABLE_SECONDS = 0.003
+RUNS = 3
+
+WIDTH, DEPTH, FAN = 5, 5, 4
+
+
+def _heavy_source(width=WIDTH, depth=DEPTH, fan=FAN):
+    """``width * depth`` mutually recursive procedures; ``print #0``
+    depends on all of them, ``print #1`` (the measured new criterion)
+    on one trivial local only."""
+    lines = ["int acc;"]
+    for w in range(width):
+        for d in range(depth):
+            calls = []
+            for f in range(fan):
+                tw, td = (w + f) % width, (d + f + 1) % depth
+                calls.append(
+                    "  if (x > %d) {\n    p_%d_%d(x - %d);\n  }"
+                    % (f + 1, tw, td, f + 1)
+                )
+            lines.append(
+                "void p_%d_%d(int x) {\n%s\n  acc = acc + 1;\n}"
+                % (w, d, "\n".join(calls))
+            )
+    body = ["  acc = 0;", "  int c = input();"]
+    body += ["  p_%d_0(c);" % w for w in range(width)]
+    body += ['  print("%d", acc);', "  int t = 7;", '  print("%d", t);']
+    body.append("  return 0;")
+    lines.append("int main() {\n%s\n}" % "\n".join(body))
+    return "\n".join(lines)
+
+
+def _measure_new_criterion(source, master, tmp_path, strip_sats):
+    """Best-of-N latency of slicing the never-stored ``print #1``
+    against a pristine copy of the warm store (results for it deleted
+    by construction — it was never sliced).  The front half is loaded
+    before the clock starts: the measurement is query latency against a
+    warm front half, not unpickling."""
+    best_seconds, session, result = None, None, None
+    for index in range(RUNS):
+        cache = str(tmp_path / ("strip%s-run%d" % (strip_sats, index)))
+        shutil.copytree(master, cache)
+        if strip_sats:
+            shutil.rmtree(os.path.join(cache, "__sats__"))
+        session = SlicingSession(source, store=SliceStore(cache))
+        t0 = time.perf_counter()
+        result = session.slice(("print", 1))
+        elapsed = time.perf_counter() - t0
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return best_seconds, session, result
+
+
+def test_persisted_poststar_speeds_up_new_criterion(tmp_path):
+    source = _heavy_source()
+    master = str(tmp_path / "master")
+    writer = SlicingSession(source, store=SliceStore(master))
+    writer.slice(("print", 0))  # warms front half, Poststar, one Prestar
+    assert writer.store.stats()["tables"]["sat"] == 2
+
+    warm_seconds, warm_session, warm_result = _measure_new_criterion(
+        source, master, tmp_path, strip_sats=False
+    )
+    cold_seconds, cold_session, cold_result = _measure_new_criterion(
+        source, master, tmp_path, strip_sats=True
+    )
+
+    # Both paths served the front half from disk; only the warm one
+    # found the Poststar artifact.
+    assert warm_session.stats["front_half_from_store"] is True
+    assert warm_session.stats["sat_persist_hits"] >= 1
+    assert cold_session.stats["sat_persist_hits"] == 0
+
+    # The speedup must not cost fidelity: both paths render the new
+    # criterion's slice identically to a storeless session.
+    reference = SlicingSession(source).slice(("print", 1))
+    for result in (warm_result, cold_result):
+        assert result.version_counts() == reference.version_counts()
+        assert result.closure_elems() == reference.closure_elems()
+    assert pretty(executable_program(warm_result).program) == pretty(
+        executable_program(reference).program
+    )
+
+    if cold_seconds < MIN_MEASURABLE_SECONDS:
+        pytest.skip(
+            "cold saturation finished in %.4fs — inside timer noise"
+            % cold_seconds
+        )
+    speedup = cold_seconds / warm_seconds
+    print(
+        "\nnew criterion on warm front half: with __sats__ %.4fs, "
+        "cleared %.4fs -> %.1fx" % (warm_seconds, cold_seconds, speedup)
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        "a persisted Poststar must make a new criterion at least %.0fx "
+        "faster (got %.2fx: %.4fs with __sats__ vs %.4fs cleared)"
+        % (MIN_SPEEDUP, speedup, warm_seconds, cold_seconds)
+    )
+
+
+def test_prestar_siblings_load_when_keys_match(tmp_path):
+    """A fresh process re-asking a *seen* criterion with its result
+    entry gone (e.g. LRU-evicted) loads the criterion's own Prestar
+    artifact too — zero saturations computed end to end."""
+    import glob
+
+    source = _heavy_source(3, 3, 2)
+    cache = str(tmp_path / "cache")
+    writer = SlicingSession(source, store=SliceStore(cache))
+    writer.slice(("print", 0))
+    for path in glob.glob(os.path.join(cache, "*", "slice-*.slc")):
+        os.unlink(path)
+
+    reader = SlicingSession(source, store=SliceStore(cache))
+    result = reader.slice(("print", 0))
+    stats = reader.stats
+    assert stats["sat_persist_hits"] == 2  # Poststar + the Prestar sibling
+    assert stats["sat_persist_misses"] == 0
+    assert pretty(executable_program(result).program) == pretty(
+        executable_program(writer.slice(("print", 0))).program
+    )

@@ -18,9 +18,11 @@ Commands:
   incrementally updates it to the current text (unchanged procedures
   keep their PDGs and saturations; see
   :mod:`repro.engine.incremental`).
-* ``cache``     — manage the persistent store: ``cache stats`` and
-  ``cache clear`` (both honor ``--cache-dir``, default
-  ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+* ``cache``     — manage the persistent store: ``cache stats``
+  (``--json`` for machine-readable output; both forms break entries
+  and bytes down per table, including the ``__procs__`` and
+  ``__sats__`` shared tables) and ``cache clear`` (all honor
+  ``--cache-dir``, default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 * ``mono``      — the same criterion, Binkley's monovariant slice.
 * ``remove``    — feature removal from a statement matched by
   ``--feature TEXT`` (substring of the statement's label).
@@ -180,7 +182,7 @@ def cmd_slice_batch(args):
     if session.store is not None:
         lines.append(
             "store: %s (front half %s, %d/%d procedure parts; "
-            "persist hits/misses %d/%d)"
+            "persist hits/misses %d/%d; saturations %d/%d)"
             % (
                 session.store.cache_dir,
                 "warm" if stats["front_half_from_store"] else "cold",
@@ -188,9 +190,20 @@ def cmd_slice_batch(args):
                 stats["front_half_parts_total"],
                 stats["persist_hits"],
                 stats["persist_misses"],
+                stats["sat_persist_hits"],
+                stats["sat_persist_misses"],
             )
         )
     return "\n".join(lines)
+
+
+#: how the stats tables are spelled for users: the on-disk directory
+#: name for the shared content-addressed tables, the role for the rest.
+_TABLE_LABELS = {
+    "fronthalf": "front-half",
+    "proc": "__procs__",
+    "sat": "__sats__",
+}
 
 
 def cmd_cache(args):
@@ -199,6 +212,10 @@ def cmd_cache(args):
     store = open_store(args.cache_dir)
     if args.cache_command == "stats":
         stats = store.stats()
+        if getattr(args, "as_json", False):
+            import json
+
+            return json.dumps(stats, indent=2, sort_keys=True)
         lines = [
             "cache dir:    %s" % stats["cache_dir"],
             "version:      %d" % stats["version"],
@@ -208,7 +225,14 @@ def cmd_cache(args):
             "size cap:     %d" % stats["max_bytes"],
         ]
         for table in sorted(stats["tables"]):
-            lines.append("  %-13s %d" % (table, stats["tables"][table]))
+            lines.append(
+                "  %-14s %5d entries  %10d bytes"
+                % (
+                    _TABLE_LABELS.get(table, table),
+                    stats["tables"][table],
+                    stats["table_bytes"].get(table, 0),
+                )
+            )
         return "\n".join(lines)
     removed = store.clear()
     return "removed %d entries from %s" % (removed, store.cache_dir)
@@ -310,6 +334,13 @@ def build_parser():
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
     p_cache_stats = cache_sub.add_parser("stats", help="store shape and counters")
     p_cache_stats.add_argument("--cache-dir", default=None)
+    p_cache_stats.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the full stats dict (per-table entry and byte "
+        "counts included) as JSON",
+    )
     p_cache_stats.set_defaults(func=cmd_cache)
     p_cache_clear = cache_sub.add_parser("clear", help="delete every entry")
     p_cache_clear.add_argument("--cache-dir", default=None)

@@ -80,6 +80,23 @@ def reachable_configs_automaton(encoding):
     return result
 
 
+def reachable_query_view(encoding):
+    """The reachable-configuration language as a trimmed single-initial
+    query view (:func:`as_query_view` of
+    :func:`reachable_configs_automaton`) — criterion-independent, so
+    cached per encoding like the Poststar itself.  Every criterion
+    construction and Algorithm 2 run reads the Poststar through this
+    view; the session engine installs a store-loaded or edit-surviving
+    Poststar artifact here directly, which is what lets a warm front
+    half answer a brand-new criterion without any Poststar-sized work.
+    """
+    cached = getattr(encoding, "_reachable_view", None)
+    if cached is None:
+        cached = as_query_view(reachable_configs_automaton(encoding), encoding)
+        encoding._reachable_view = cached
+    return cached
+
+
 def reachable_contexts_criterion(encoding, vids):
     """Accepts ``{(v, w) : v in vids, (v, w) reachable}`` — the "slice
     from every calling context of these vertices" criterion.
@@ -88,8 +105,7 @@ def reachable_contexts_criterion(encoding, vids):
     ``vids · Γ_c*`` and rebasing the initial state back onto the control
     location so the result is a valid Prestar query automaton.
     """
-    reachable = reachable_configs_automaton(encoding)
-    reachable_view = as_query_view(reachable, encoding)
+    reachable_view = reachable_query_view(encoding)
     broad = all_contexts_criterion(encoding, vids)
     product = intersection(reachable_view, broad).trim()
     if not product.states:

@@ -17,7 +17,7 @@ the feature, while shared helpers like ``add`` survive because their
 non-feature configurations remain.
 """
 
-from repro.core.criteria import as_query_view, reachable_configs_automaton
+from repro.core.criteria import as_query_view, reachable_query_view
 from repro.core.readout import read_out_sdg
 from repro.core.specialize import SpecializationResult, resolve_criterion
 from repro.fsa import complement, determinize, intersection, mrd
@@ -42,7 +42,7 @@ def feature_seeds(sdg, feature_text):
     return seeds
 
 
-def remove_feature(sdg, criterion, contexts="reachable"):
+def remove_feature(sdg, criterion, contexts="reachable", a0=None):
     """Run Algorithm 2.
 
     Args:
@@ -51,6 +51,12 @@ def remove_feature(sdg, criterion, contexts="reachable"):
             forward slice is the feature to remove.
         contexts: how to contextualize a vertex-set criterion (as in
             :func:`specialization_slice`).
+        a0: an optional precomputed ``Poststar(A_C)`` automaton (the
+            feature's forward cone).  The
+            :class:`repro.engine.SlicingSession` memo passes the
+            saturation-artifact automaton here, so a repeated or
+            store-warmed removal skips the cone saturation; must
+            correspond to ``criterion``.
 
     Returns:
         a :class:`SpecializationResult` whose ``sdg`` is the
@@ -66,12 +72,12 @@ def remove_feature(sdg, criterion, contexts="reachable"):
     result.criterion = a_c
 
     # Line 4: the feature's configurations.
-    a0 = poststar(encoding.pds, a_c)
+    if a0 is None:
+        a0 = poststar(encoding.pds, a_c)
     feature_view = as_query_view(a0, encoding)
 
     # Line 5: reachable configurations not in the feature.
-    reachable = reachable_configs_automaton(encoding)
-    reachable_view = as_query_view(reachable, encoding)
+    reachable_view = reachable_query_view(encoding)
     alphabet = encoding.alphabet()
     kept = intersection(
         reachable_view, complement(determinize(feature_view), alphabet)

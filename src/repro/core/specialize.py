@@ -37,6 +37,11 @@ class SpecializationResult(object):
         bindings: dict (caller state, orig site label) -> callee state.
         map_back_vertex / map_back_site: the mapping ``MC``.
         stats: dict of instrumentation (state counts, timings).
+        footprint: the ownership footprint of ``a1`` — the frozenset of
+            per-procedure content keys the result's cone touches (set
+            by the session engine; see :mod:`repro.engine.artifacts`),
+            or None outside a session.  What the incremental layer
+            consults to decide whether the result survives an edit.
     """
 
     def __init__(self):
@@ -51,6 +56,7 @@ class SpecializationResult(object):
         self.map_back_vertex = {}
         self.map_back_site = {}
         self.stats = {}
+        self.footprint = None
 
     # -- convenience queries ----------------------------------------------------
 

@@ -1,0 +1,212 @@
+"""Relocatable saturation artifacts: the one representation every
+saturation consumer shares.
+
+A PDS saturation (``Poststar(entry_main)``, a per-criterion Prestar,
+a feature's forward-cone Poststar) used to live only as a raw automaton
+inside one session's memo; the store could not persist it, process-pool
+workers re-saturated it, and the incremental layer re-derived its
+procedure ownership by trimming at every update.  A
+:class:`SaturationArtifact` packages the saturation once, in the form
+all four consumers need:
+
+* ``automaton`` — the *trimmed* saturation automaton (the useful part
+  only; trimming preserves the configuration language read from every
+  initial state, which is all any consumer reads).  Slim by
+  construction: symbols are vertex ids and call-site labels, states
+  are small tuples — no SDG or encoding references.
+* ``key`` — the canonical memo/store key: :data:`REACHABLE_KEY` for the
+  shared Poststar, ``(SAT_PRESTAR | SAT_POSTSTAR, criterion_key)`` for
+  per-criterion saturations (see :mod:`repro.engine.canonical`).
+* ``footprint`` — the *ownership footprint*: the frozenset of
+  per-procedure content keys (:func:`repro.engine.incremental
+  .procedure_keys` digests) whose PDS rules the automaton touches.  A
+  symbol is owned by the procedure containing it — and, for a call-site
+  label, by the callee as well — exactly mirroring which procedures
+  contribute PDS rules mentioning it.  ``None`` means "unknown, treat
+  as touching everything" (sessions built from a bare SDG).
+
+The footprint is what makes the artifact *relocatable*: an artifact
+survives a source edit iff its footprint avoids every changed
+procedure's content key, because any PDS rule the edit added or removed
+mentions a changed procedure's vertex or call site, and the first
+changed rule usable in a new derivation needs a configuration the old
+automaton already accepted that mentions such a symbol.  (Reachable-
+contexts criteria additionally require the shared Poststar to survive,
+because their query automata bake in its language — the caller's gate,
+not the artifact's.)  Content keys, not names, so the check composes
+with the store's content-addressed tables and stays meaningful across
+processes.
+
+Artifacts pickle deterministically: ``__getstate__`` renders the
+automaton through :func:`repro.fsa.serialize.automaton_to_payload`, so
+equal artifacts serialize to equal bytes in any interpreter — the
+property the ``__sats__`` store table and the process backend rely on.
+"""
+
+from repro.fsa.serialize import automaton_from_payload, automaton_to_payload
+
+
+def translate_footprint(footprint, key_translation):
+    """A footprint re-addressed through ``{old content key -> new
+    content key}`` — how footprints follow procedures whose text (and
+    therefore key) changed across an update.  None stays None."""
+    if footprint is None or not key_translation:
+        return footprint
+    return frozenset(
+        key_translation.get(content_key, content_key) for content_key in footprint
+    )
+
+
+class SaturationArtifact(object):
+    """One saturation result, relocatable across sessions, processes,
+    the persistent store, and source edits.
+
+    Attributes:
+        kind: ``"poststar"`` or ``"prestar"`` (which saturation
+            procedure produced the automaton).
+        key: the canonical memo/store key.
+        automaton: the trimmed saturation :class:`FiniteAutomaton`.
+        footprint: frozenset of procedure content keys the automaton's
+            useful part touches, or None when unknown.
+    """
+
+    __slots__ = ("kind", "key", "automaton", "footprint")
+
+    def __init__(self, kind, key, automaton, footprint):
+        self.kind = kind
+        self.key = key
+        self.automaton = automaton
+        self.footprint = footprint
+
+    def __getstate__(self):
+        return (
+            self.kind,
+            self.key,
+            automaton_to_payload(self.automaton),
+            None if self.footprint is None else tuple(sorted(self.footprint)),
+        )
+
+    def __setstate__(self, state):
+        kind, key, payload, footprint = state
+        self.kind = kind
+        self.key = key
+        self.automaton = automaton_from_payload(payload)
+        self.footprint = None if footprint is None else frozenset(footprint)
+
+    def __repr__(self):
+        return "SaturationArtifact(%s, %r, %d procs)" % (
+            self.kind,
+            self.key,
+            -1 if self.footprint is None else len(self.footprint),
+        )
+
+    # -- edit survival ---------------------------------------------------------
+
+    def survives(self, changed_content_keys):
+        """Whether this saturation is provably unaffected by an edit
+        that changed (or removed) exactly the procedures with the given
+        old content keys.  An unknown footprint never survives."""
+        return self.footprint is not None and self.footprint.isdisjoint(
+            changed_content_keys
+        )
+
+    def translated(self, key_translation):
+        """This artifact with its footprint re-addressed through
+        ``{old content key -> new content key}`` — the fast-path update
+        case, where a procedure's text (and therefore key) changed but
+        its PDS rules did not, so the automaton itself is still exact."""
+        footprint = translate_footprint(self.footprint, key_translation)
+        if footprint == self.footprint:
+            return self
+        return SaturationArtifact(self.kind, self.key, self.automaton, footprint)
+
+    def relocated(self, new_key, vid_map, site_map, key_translation):
+        """This artifact renamed into an edited front half: transition
+        symbols are renumbered through the relocation maps and the
+        footprint through the content-key translation.  Callers must
+        have already checked :meth:`survives` — transitions on symbols
+        absent from the maps belong to rebuilt procedures, are off
+        every accepting path, and are dropped."""
+        return SaturationArtifact(
+            self.kind,
+            new_key,
+            remap_automaton(self.automaton, vid_map, site_map),
+            translate_footprint(self.footprint, key_translation),
+        )
+
+
+def symbol_owner_procs(sdg, automaton):
+    """The procedures whose PDS rules the automaton's useful part can
+    mention: the owner of each vertex symbol, plus — for call-site
+    symbols — both the caller (the rule pushing the site) and the
+    callee (the param-out rules popping it)."""
+    procs = set()
+    vertices = sdg.vertices
+    call_sites = sdg.call_sites
+    for (_src, symbol, _dst) in automaton.transitions():
+        if symbol is None:
+            continue
+        if isinstance(symbol, int):
+            vertex = vertices.get(symbol)
+            if vertex is not None:
+                procs.add(vertex.proc)
+        else:
+            site = call_sites.get(symbol)
+            if site is not None:
+                procs.add(site.caller)
+                procs.add(site.callee)
+    return procs
+
+
+def artifact_footprint(sdg, proc_keys, automaton, trimmed=True):
+    """The ownership footprint of an automaton over a front half: the
+    content keys of every procedure owning a symbol on the automaton's
+    useful part.  ``proc_keys`` is the ``name -> content key`` map of
+    the front half; None when unavailable (footprint unknown).
+
+    ``trimmed=False`` trims first (saturations produced with
+    ``trim=True`` skip it)."""
+    if proc_keys is None:
+        return None
+    if not trimmed:
+        automaton = automaton.trim()
+    return frozenset(
+        proc_keys[name]
+        for name in symbol_owner_procs(sdg, automaton)
+        if name in proc_keys
+    )
+
+
+def make_artifact(kind, key, automaton, sdg, proc_keys, trimmed=True):
+    """Package a saturation automaton as an artifact over the given
+    front half (see :func:`artifact_footprint` for the arguments)."""
+    if not trimmed:
+        automaton = automaton.trim()
+    return SaturationArtifact(
+        kind, key, automaton, artifact_footprint(sdg, proc_keys, automaton)
+    )
+
+
+def remap_automaton(automaton, vid_map, site_map):
+    """Rename an automaton's transition symbols through the relocation
+    maps of an incremental update.  Transitions labeled by symbols of
+    rebuilt procedures (absent from the maps) are dropped; callers must
+    have already checked, via the artifact footprint, that no such
+    symbol is on an accepting path, so the accepted language is
+    preserved.  States are opaque and kept as-is."""
+    from repro.fsa.automaton import FiniteAutomaton
+
+    result = FiniteAutomaton(initials=automaton.initials, finals=automaton.finals)
+    for state in automaton.states:
+        result.add_state(state)
+    for (src, symbol, dst) in automaton.transitions():
+        if symbol is None:
+            result.add_transition(src, symbol, dst)
+            continue
+        if isinstance(symbol, int):
+            new_symbol = vid_map.get(symbol)
+        else:
+            new_symbol = site_map.get(symbol)
+        if new_symbol is not None:
+            result.add_transition(src, new_symbol, dst)
+    return result

@@ -28,12 +28,31 @@ persistent :class:`repro.store.SliceStore` files are named by.
 
 import hashlib
 
+from repro.fsa.serialize import stable_render as _stable_render
+
 PRINTS = "prints"
 
 #: kinds a spec normalizes to
 VERTICES = "vertices"
 CONFIGS = "configs"
 AUTOMATON = "automaton"
+
+#: saturation-artifact kinds (see :mod:`repro.engine.artifacts`); the
+#: session memo, the store's ``__sats__`` table, and the incremental
+#: invalidation pass all spell saturation keys with these.
+SAT_PRESTAR = "prestar"
+SAT_POSTSTAR = "poststar"
+
+#: the canonical key of the shared ``Poststar(entry_main)`` saturation
+REACHABLE_KEY = ("reachable-configs",)
+
+
+def saturation_key(sat_kind, criterion_key):
+    """The memo/store key of a per-criterion saturation: the saturation
+    kind (:data:`SAT_PRESTAR` or :data:`SAT_POSTSTAR`) paired with the
+    criterion's canonical key.  The shared program-wide Poststar uses
+    :data:`REACHABLE_KEY` instead (it has no criterion)."""
+    return (sat_kind, criterion_key)
 
 
 def resolve_criterion_spec(sdg, criterion):
@@ -115,10 +134,12 @@ def stable_key_digest(key):
 
     In-memory memo keys are plain hashable tuples, but Python's ``hash``
     is salted per interpreter run, so the on-disk store needs its own
-    deterministic serialization.  Frozensets (the automaton-key case)
-    are ordered by the stable rendering of their elements; everything
-    else in a canonical key (ints, strings, None, nested tuples)
-    already has a deterministic ``repr``.
+    deterministic serialization.  The rendering is
+    :func:`repro.fsa.serialize.stable_render` — the same total order
+    saturation-artifact payloads use — so the two layers cannot drift:
+    frozensets (the automaton-key case) are ordered by their elements'
+    renderings; everything else in a canonical key (ints, strings,
+    None, nested tuples) already has a deterministic ``repr``.
     """
     return hashlib.sha256(_stable_render(key).encode("utf-8")).hexdigest()
 
@@ -136,14 +157,6 @@ def is_stable_key(key):
     if isinstance(key, (frozenset, set, tuple, list)):
         return all(is_stable_key(item) for item in key)
     return key is None or isinstance(key, (int, float, str, bytes, bool))
-
-
-def _stable_render(value):
-    if isinstance(value, (frozenset, set)):
-        return "{%s}" % ",".join(sorted(_stable_render(item) for item in value))
-    if isinstance(value, tuple):
-        return "(%s)" % ",".join(_stable_render(item) for item in value)
-    return repr(value)
 
 
 def _require_vertices(sdg, vids):

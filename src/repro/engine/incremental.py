@@ -23,22 +23,25 @@ front half assemblable from per-procedure parts and teaches
   statement uids — content-key equality makes the ASTs token-identical),
   rebuilds only the changed PDGs via :func:`repro.sdg.assemble_sdg`
   (which numbers the result identically to a cold build), and prunes
-  the session memo:
+  the session memo as a pure function of **artifact footprints**
+  (:mod:`repro.engine.artifacts`) — every saturation's ownership
+  footprint was emitted when it was created, so the update never
+  re-derives procedure ownership from automata:
 
   - **fast path** — every rebuilt procedure has the same
     :meth:`~repro.sdg.parts.ProcPart.shape_key` as before (label-only
     edits: changed constants, renamed locals, reworded prints): the
-    PDS is unchanged, the old encoding and *every* saturation are
-    kept, and slice results survive whenever their trimmed ``A1``
-    touches no changed procedure;
+    PDS is unchanged, the old encoding and *every* saturation artifact
+    are kept (footprints re-addressed onto the new content keys), and
+    slice / feature-removal / cleanup results survive whenever their
+    footprint avoids every changed procedure;
   - **slow path** — dependence structure changed: the PDS is
-    re-encoded, and a memoized saturation is kept (symbols renamed
-    through the relocation maps) only when its trimmed automaton
-    touches no PDS rule of a changed procedure — no vertex of a
-    changed procedure and no call site in or on one.  Prestar entries
-    for ``contexts="reachable"`` criteria additionally require the
-    shared Poststar to have survived, because their query automaton
-    was derived from it.  Slice results are conservatively recomputed
+    re-encoded, and a saturation artifact is kept (relocated through
+    the renumbering maps) only when its footprint avoids every changed
+    procedure's content key.  Prestar and feature-cone entries for
+    ``contexts="reachable"`` criteria additionally require the shared
+    Poststar to have survived, because their query automaton was
+    derived from it.  Rendered results are conservatively recomputed
     (cheap: their saturation is the expensive part and it hits).
 
 Why the keep-rule is sound: a saturation can only grow or shrink
@@ -47,13 +50,17 @@ mentions a changed procedure's vertex or a call site in/on a changed
 procedure either on its left-hand side or in its right-hand word.  The
 first changed rule used in any new derivation therefore needs a
 configuration *already accepted by the old automaton* that mentions
-one of those symbols — which is exactly what the trimmed-symbol check
-rules out.  (The reachable-contexts caveat exists because those query
-automata bake in the old Poststar language, which the check cannot
-see; they are kept only when the Poststar itself is provably intact.)
+one of those symbols — and a footprint disjoint from every changed
+procedure's content key means no such symbol is on any accepting path.
+(The reachable-contexts caveat exists because those query automata
+bake in the old Poststar language, which the footprint cannot see;
+they are kept only when the Poststar itself is provably intact.)
 
-Feature-removal results (forward cones) are always dropped on update;
-they recompute through the kept Poststar.
+With a store attached, every surviving artifact is re-filed into the
+``__sats__`` table under the edited text's front-half hash, so the
+on-disk saturation cache survives source edits the same way the
+content-addressed ``__procs__`` table lets the front half survive
+them.
 """
 
 import hashlib
@@ -62,17 +69,21 @@ from concurrent.futures import Future
 
 from repro.analysis.callgraph import build_call_graph
 from repro.analysis.modref import compute_modref
-from repro.engine.canonical import AUTOMATON, CONFIGS, VERTICES
-from repro.fsa.automaton import FiniteAutomaton
+from repro.engine.artifacts import translate_footprint
+from repro.engine.canonical import (
+    AUTOMATON,
+    CONFIGS,
+    REACHABLE_KEY,
+    VERTICES,
+    is_stable_key,
+    stable_key_digest,
+)
 from repro.lang import check, parse
 from repro.lang.pretty import pretty_global, pretty_proc
 from repro.pds import encode_sdg
 from repro.sdg.parts import ProcPart, extract_part
 from repro.sdg.sdg_builder import assemble_sdg
 from repro.store import source_hash
-
-#: session memo key of the shared ``Poststar(entry_main)`` saturation
-REACHABLE_KEY = ("reachable-configs",)
 
 
 # -- the front end -----------------------------------------------------------------
@@ -216,53 +227,11 @@ def load_front_half(source, store):
 
 
 # -- memo remapping ----------------------------------------------------------------
-
-
-def _owned_symbols(sdg, names):
-    """The PDS stack symbols "owned" by the given procedures: their
-    vertex ids plus the labels of call sites inside them and on them.
-    Every PDS rule the procedures contribute to — intraprocedural,
-    call/param-in at their sites, param-out of their formal-outs —
-    mentions at least one owned symbol."""
-    symbols = set()
-    for name in names:
-        symbols.update(sdg.proc_vertices.get(name, ()))
-        symbols.update(sdg.sites_in_proc.get(name, ()))
-        symbols.update(sdg.sites_on_proc.get(name, ()))
-    return symbols
-
-
-def _touched_symbols(automaton):
-    """Stack symbols on the automaton's useful (trimmed) part — the
-    symbols its accepted configurations can mention."""
-    return {
-        symbol
-        for (_src, symbol, _dst) in automaton.trim().transitions()
-        if symbol is not None
-    }
-
-
-def remap_automaton(automaton, vid_map, site_map):
-    """Rename an automaton's transition symbols through the relocation
-    maps.  Transitions labeled by symbols of rebuilt procedures (absent
-    from the maps) are dropped; callers must have already checked, via
-    :func:`_touched_symbols`, that no such symbol is on an accepting
-    path, so the accepted language is preserved.  States are opaque and
-    kept as-is."""
-    result = FiniteAutomaton(initials=automaton.initials, finals=automaton.finals)
-    for state in automaton.states:
-        result.add_state(state)
-    for (src, symbol, dst) in automaton.transitions():
-        if symbol is None:
-            result.add_transition(src, symbol, dst)
-            continue
-        if isinstance(symbol, int):
-            new_symbol = vid_map.get(symbol)
-        else:
-            new_symbol = site_map.get(symbol)
-        if new_symbol is not None:
-            result.add_transition(src, new_symbol, dst)
-    return result
+#
+# Which procedures a saturation or result can possibly observe is its
+# artifact footprint, computed once at creation (repro.engine.artifacts)
+# — the update only checks footprint disjointness and renames keys and
+# symbols; it never re-trims an automaton to re-derive ownership.
 
 
 def _remap_criterion_key(key, vid_map, site_map):
@@ -388,9 +357,31 @@ def update_session(session, new_source):
     else:
         encoding = encode_sdg(new_sdg)
 
-    owned = _owned_symbols(old_sdg, set(changed) | set(removed))
+    # The edit, expressed in footprint space: the old content keys of
+    # every procedure the edit rebuilt or removed (a brand-new
+    # procedure has no old key, but adding one edits its caller, whose
+    # old key is here).  Survivors re-address their footprints through
+    # the key translation — the procedures whose text (and key)
+    # changed while staying shape-identical on the fast path.
+    changed_content_keys = frozenset(
+        old_keys[name]
+        for name in list(changed) + list(removed)
+        if name in old_keys
+    )
+    key_translation = {
+        old_keys[name]: new_keys[name]
+        for name in old_keys
+        if name in new_keys and old_keys[name] != new_keys[name]
+    }
     new_futures, counts = _prune_memo(
-        session, new_sdg, encoding, fast, owned, vid_map, site_map
+        session,
+        new_sdg,
+        encoding,
+        fast,
+        changed_content_keys,
+        key_translation,
+        vid_map,
+        site_map,
     )
 
     with session._lock:
@@ -412,17 +403,31 @@ def update_session(session, new_source):
     if session.store is not None:
         if not session.store.has_program(new_hash):
             # Persist the bundle the way a cold build would: without
-            # the Poststar cached on the encoding (saturations are not
-            # store objects yet — ROADMAP open item — and would bloat
-            # the bundle on the editor-loop hot path).
+            # the Poststar (or its query view) cached on the encoding —
+            # saturations are first-class ``__sats__`` entries now and
+            # would bloat the bundle on the editor-loop hot path.
             reachable = encoding.__dict__.pop("_reachable_configs", None)
+            view = encoding.__dict__.pop("_reachable_view", None)
             try:
                 session.store.put_program(new_hash, new_sdg)
             finally:
                 if reachable is not None:
                     encoding._reachable_configs = reachable
+                if view is not None:
+                    encoding._reachable_view = view
         for name in changed:
             session.store.put_proc(new_keys[name], extract_part(new_sdg, name))
+        # Footprint-aware store survival: re-file every surviving
+        # artifact under the edited text's front-half hash, so a fresh
+        # process opening the new text finds its saturations warm —
+        # composing with the __procs__ partial front-half hits.
+        # Existence-gated like the bundle above: an undo/redo loop
+        # returning to already-seen text skips the re-serialization.
+        for (cache_kind, memo_key), future in new_futures.items():
+            if cache_kind == "saturation" and is_stable_key(memo_key):
+                digest = stable_key_digest(memo_key)
+                if not session.store.has_sat(new_hash, digest):
+                    session.store.put_sat(new_hash, digest, future.result())
 
     import repro
 
@@ -439,9 +444,19 @@ def update_session(session, new_source):
     )
 
 
-def _prune_memo(session, new_sdg, encoding, fast, owned, vid_map, site_map):
-    """Decide, entry by entry, what survives the update.  Returns the
-    new futures table and the kept/dropped counters."""
+def _completed(value):
+    future = Future()
+    future.set_result(value)
+    return future
+
+
+def _prune_memo(
+    session, new_sdg, encoding, fast, changed_keys, key_translation, vid_map, site_map
+):
+    """Decide, entry by entry, what survives the update — a pure
+    function of the artifact footprints the entries were created with
+    (no automaton is trimmed or inspected here).  Returns the new
+    futures table and the kept/dropped counters."""
     with session._lock:
         snapshot = dict(session._futures)
     new_futures = {}
@@ -451,16 +466,15 @@ def _prune_memo(session, new_sdg, encoding, fast, owned, vid_map, site_map):
         "results_kept": 0,
         "results_dropped": 0,
     }
-    kept_slice_keys = set()
+    kept_result_keys = {"slice": set(), "feature": set()}
     poststar_kept = False
 
     def done(future):
         return future.done() and future.exception() is None
 
-    # Saturations first: the Poststar verdict gates reachable-contexts
-    # Prestar entries, and slice survival gates executables.  The
-    # shared Poststar is decided before the loop so doomed
-    # reachable-mode entries can be dropped without paying a trim.
+    # Saturation artifacts first: the Poststar verdict gates every
+    # reachable-contexts entry, and result survival gates the
+    # executable/cleanup tables.
     saturations = [
         (key, future)
         for (cache_kind, key), future in snapshot.items()
@@ -468,21 +482,27 @@ def _prune_memo(session, new_sdg, encoding, fast, owned, vid_map, site_map):
     ]
     saturations.sort(key=lambda item: item[0] != REACHABLE_KEY)
     for key, future in saturations:
-        value = future.result()
+        artifact = future.result()
         if fast:
-            new_futures[("saturation", key)] = future
+            # The PDS is unchanged, so every saturation is still exact;
+            # only the footprint addressing moves to the new content
+            # keys of the label-edited procedures.
+            new_futures[("saturation", key)] = _completed(
+                artifact.translated(key_translation)
+            )
             counts["saturations_kept"] += 1
             if key == REACHABLE_KEY:
                 poststar_kept = True
             continue
         if key == REACHABLE_KEY:
-            if _touched_symbols(value) & owned:
+            if not artifact.survives(changed_keys):
                 counts["saturations_dropped"] += 1
                 continue
-            remapped = remap_automaton(value, vid_map, site_map)
+            survivor = artifact.relocated(key, vid_map, site_map, key_translation)
             # The criterion constructors read the shared Poststar off
-            # the encoding; transplant the survivor.
-            encoding._reachable_configs = remapped
+            # the encoding (as its query view); transplant the survivor.
+            encoding._reachable_configs = survivor.automaton
+            encoding._reachable_view = survivor.automaton
             poststar_kept = True
             new_key = key
         else:
@@ -494,42 +514,51 @@ def _prune_memo(session, new_sdg, encoding, fast, owned, vid_map, site_map):
                 counts["saturations_dropped"] += 1
                 continue
             inner = _remap_criterion_key(key[1], vid_map, site_map)
-            if inner is None or _touched_symbols(value) & owned:
+            if inner is None or not artifact.survives(changed_keys):
                 counts["saturations_dropped"] += 1
                 continue
             new_key = (key[0], inner)
-            remapped = remap_automaton(value, vid_map, site_map)
-        replacement = Future()
-        replacement.set_result(remapped)
-        new_futures[("saturation", new_key)] = replacement
+            survivor = artifact.relocated(new_key, vid_map, site_map, key_translation)
+        new_futures[("saturation", new_key)] = _completed(survivor)
         counts["saturations_kept"] += 1
 
     for (cache_kind, key), future in snapshot.items():
-        if cache_kind != "slice" or not done(future):
+        if cache_kind not in ("slice", "feature") or not done(future):
             continue
         value = future.result()
-        if fast and not (_touched_symbols(value.a1) & owned):
-            # The slice's whole cone lies in unchanged procedures: the
+        footprint = getattr(value, "footprint", None)
+        if fast and footprint is not None and footprint.isdisjoint(changed_keys):
+            # The result's whole cone lies in unchanged procedures: the
             # result (and its rendered text) is still exact.  Re-point
-            # its front-half references at the new graph.
+            # its front-half references at the new graph.  Feature
+            # removals qualify too — their footprint is the *kept*
+            # cone, and on the fast path the kept language itself is
+            # unchanged (same PDS, same query), so only edits the
+            # residual program could render matter.
             value.source_sdg = new_sdg
             value.encoding = encoding
+            value.footprint = translate_footprint(footprint, key_translation)
             new_futures[(cache_kind, key)] = future
-            kept_slice_keys.add(key)
+            kept_result_keys[cache_kind].add(key)
             counts["results_kept"] += 1
         else:
             counts["results_dropped"] += 1
 
     for (cache_kind, key), future in snapshot.items():
-        if cache_kind == "executable" and done(future):
+        if not done(future):
+            continue
+        if cache_kind == "executable":
             # Rides its slice's fate; not counted separately (the
             # results_* counters tally logical results).
-            if key in kept_slice_keys:
+            if key in kept_result_keys["slice"]:
                 new_futures[(cache_kind, key)] = future
-        elif cache_kind in ("feature", "feature_clean") and done(future):
-            # Forward cones; conservatively recomputed (their Poststar,
-            # the expensive half, is kept when possible).
-            counts["results_dropped"] += 1
+        elif cache_kind == "feature_clean":
+            # The §7 cleanup pair rides its feature removal's fate.
+            if key in kept_result_keys["feature"]:
+                new_futures[(cache_kind, key)] = future
+                counts["results_kept"] += 1
+            else:
+                counts["results_dropped"] += 1
 
     return new_futures, counts
 

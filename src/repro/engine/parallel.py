@@ -10,8 +10,10 @@ the only thing serializing them on the thread backend.
 ``slice_many_programs`` takes ``(source, criteria)`` jobs and returns
 one result list per job, in order.  With ``cache_dir`` set, every
 worker — thread or process — reads and writes the shared persistent
-:class:`repro.store.SliceStore`, so a warm corpus batch is answered
-from disk without any saturation work.
+:class:`repro.store.SliceStore`: a warm corpus batch is answered from
+disk without any saturation work, and even a half-warm one loads each
+program's ``Poststar(entry_main)`` artifact from the shared
+``__sats__`` table instead of re-saturating it per worker.
 """
 
 import os

@@ -10,27 +10,34 @@ front half:
 * the parsed program, semantic info, SDG, and :class:`SDGEncoding` are
   built once at session creation — or loaded from the persistent
   :class:`repro.store.SliceStore` when one is attached and warm;
-* ``Poststar(entry_main)`` — needed by every reachable-contexts
-  criterion, by feature removal, and by the reslicing check — is
-  saturated once and shared;
-* Prestar/Poststar saturations, full :class:`SpecializationResult`s,
-  feature removals, and the §7 cleanup pass are memoized per
-  canonicalized criterion (see :mod:`repro.engine.canonical`), so
-  resubmitting a criterion is a dictionary lookup;
-* with a store attached, slice / feature / cleanup results are *also*
-  persisted on disk under the same canonical keys (digested by
-  :func:`repro.engine.canonical.stable_key_digest`), so a fresh process
-  answering a repeated batch does no saturation work at all;
+* every saturation — the shared ``Poststar(entry_main)``, each
+  per-criterion Prestar, each feature's forward-cone Poststar — is
+  memoized as a relocatable
+  :class:`repro.engine.artifacts.SaturationArtifact` (trimmed
+  automaton + canonical key + per-procedure ownership footprint), the
+  one representation the memo, the store's ``__sats__`` table, the
+  process backend, and the incremental layer all share;
+* full :class:`SpecializationResult`s, feature removals, and the §7
+  cleanup pass are memoized per canonicalized criterion (see
+  :mod:`repro.engine.canonical`), so resubmitting a criterion is a
+  dictionary lookup;
+* with a store attached, slice / feature / cleanup results *and*
+  saturation artifacts are persisted on disk under the same canonical
+  keys (digested by :func:`repro.engine.canonical.stable_key_digest`),
+  so a fresh process answering a repeated batch does no saturation
+  work at all — and one answering a *new* criterion against a warm
+  front half loads the Poststar artifact instead of re-saturating;
 * :meth:`SlicingSession.slice_many` fans independent criteria out over
   a thread pool (``backend="thread"``, sharing the read-only encoding)
   or a process pool (``backend="process"``, each worker rebuilding or
   store-loading the front half once and computing true CPU-parallel
-  slices), deduplicating identical criteria either way;
+  slices), deduplicating identical criteria either way; warm
+  saturation artifacts are shipped to the workers so none of them
+  re-saturates what the parent already knows;
 * :meth:`SlicingSession.update_source` re-points the session at an
   edited text in place: per-procedure content keys decide which PDGs
-  are rebuilt, and only the memoized saturations whose automata touch
-  a changed procedure's PDS rules are invalidated (see
-  :mod:`repro.engine.incremental`).
+  are rebuilt, and memo entries are invalidated as a pure function of
+  artifact footprints (see :mod:`repro.engine.incremental`).
 
 Sessions are thread-safe: the memo tables hold one future per key, so
 concurrent submissions of the same criterion compute it exactly once.
@@ -41,26 +48,30 @@ import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
-from repro.core.criteria import (
-    configs_criterion,
-    reachable_configs_automaton,
-)
+from repro.core.criteria import configs_criterion
 from repro.core.executable import executable_program
 from repro.core.specialize import resolve_criterion, specialization_slice
+from repro.engine.artifacts import SaturationArtifact, make_artifact
 from repro.engine.canonical import (
     AUTOMATON,
     CONFIGS,
     PRINTS,
+    REACHABLE_KEY,
+    SAT_POSTSTAR,
+    SAT_PRESTAR,
     VERTICES,
     canonical_key,
     is_stable_key,
     resolve_criterion_spec,
+    saturation_key,
     stable_key_digest,
 )
-from repro.pds import encode_sdg, prestar
+from repro.pds import encode_sdg, poststar, prestar
 from repro.store import source_hash as _source_hash
 
 #: memo tables whose values are persisted when a store is attached
+#: (saturation artifacts are persisted too, through the store's
+#: dedicated ``__sats__`` table rather than the per-program one)
 PERSISTED_TABLES = frozenset(["slice", "feature", "feature_clean"])
 
 
@@ -153,6 +164,8 @@ class SlicingSession(object):
             "executable_misses": 0,
             "persist_hits": 0,
             "persist_misses": 0,
+            "sat_persist_hits": 0,
+            "sat_persist_misses": 0,
         }
 
     @classmethod
@@ -186,12 +199,21 @@ class SlicingSession(object):
             # The saturation is memoized one layer below the result so
             # that a failure later in the pipeline (MRD/read-out) evicts
             # the result entry but keeps the saturation for the retry.
-            a1 = self._memoized(
+            sat_key = saturation_key(SAT_PRESTAR, key)
+            artifact = self._memoized(
                 "saturation",
-                ("prestar", key),
-                lambda: prestar(self.encoding.pds, a0),
+                sat_key,
+                lambda: self._make_artifact(
+                    SAT_PRESTAR,
+                    sat_key,
+                    prestar(self.encoding.pds, a0, trim=True),
+                ),
             )
-            return specialization_slice(self.sdg, a0, contexts=contexts, a1=a1)
+            result = specialization_slice(
+                self.sdg, a0, contexts=contexts, a1=artifact.automaton
+            )
+            result.footprint = artifact.footprint
+            return result
 
         return self._memoized("slice", key, compute)
 
@@ -248,15 +270,41 @@ class SlicingSession(object):
     def remove_feature(self, feature, contexts="reachable"):
         """Algorithm 2 through the session: ``feature`` is either a
         label substring (as in ``repro remove --feature``) or any
-        criterion spec; memoized like :meth:`slice`."""
+        criterion spec; memoized like :meth:`slice`.
+
+        The feature's forward-cone saturation ``Poststar(A_C)`` — the
+        expensive half of Algorithm 2 — is memoized (and persisted,
+        with a store) as its own :class:`SaturationArtifact`, so a
+        repeated removal after an incremental update that dropped the
+        rendered result still skips the saturation."""
         from repro.core.feature_removal import remove_feature
 
         kind, payload = self._feature_spec(feature)
         key = canonical_key(kind, payload, contexts)
 
         def compute():
+            # Algorithm 2 consults the reachable-configuration language
+            # in every contexts mode; route it through the artifact
+            # memo so it is shared, shipped, and persisted like any
+            # other saturation.
+            self.reachable_configs()
             a_c = self._query_automaton(kind, payload, contexts)
-            return remove_feature(self.sdg, a_c)
+            sat_key = saturation_key(SAT_POSTSTAR, key)
+            cone = self._memoized(
+                "saturation",
+                sat_key,
+                lambda: self._make_artifact(
+                    SAT_POSTSTAR,
+                    sat_key,
+                    poststar(self.encoding.pds, a_c, trim=True),
+                ),
+            )
+            result = remove_feature(self.sdg, a_c, a0=cone.automaton)
+            # The result's own footprint is its *kept* cone (what the
+            # rendered residual program can mention), not the removed
+            # feature's: result.a1 is already trimmed by Algorithm 2.
+            result.footprint = self._footprint_of(result.a1)
+            return result
 
         return self._memoized("feature", key, compute)
 
@@ -289,13 +337,40 @@ class SlicingSession(object):
         return raw, cleaned
 
     def reachable_configs(self):
-        """The shared ``Poststar(entry_main)`` saturation (computed at
-        most once per session)."""
-        return self._memoized(
-            "saturation",
-            ("reachable-configs",),
-            lambda: reachable_configs_automaton(self.encoding),
-        )
+        """The shared ``Poststar(entry_main)`` saturation (computed —
+        or store-loaded — at most once per session), as the trimmed
+        single-initial query view every consumer reads it through.
+
+        The memo holds it as a :class:`SaturationArtifact`
+        (:meth:`reachable_configs_artifact`); whichever way the
+        artifact arrived — saturation, ``__sats__`` load, process-pool
+        shipping, incremental survival — its automaton is installed as
+        the encoding's cached reachable-configuration language *and*
+        query view, so the criterion constructors and Algorithm 2 do no
+        Poststar-sized work at all."""
+        artifact = self.reachable_configs_artifact()
+        automaton = artifact.automaton
+        encoding = self.encoding
+        if getattr(encoding, "_reachable_configs", None) is not automaton:
+            encoding._reachable_configs = automaton
+            encoding._reachable_view = automaton
+        return automaton
+
+    def reachable_configs_artifact(self):
+        """The shared Poststar as a relocatable artifact.
+
+        The artifact's automaton is the *query view* of the saturation
+        (language read from the main control location, trimmed): the
+        configuration language ``Poststar(entry_main)`` denotes — and
+        the only part any consumer reads — in its slimmest form."""
+        from repro.core.criteria import reachable_query_view
+
+        def compute():
+            view = reachable_query_view(self.encoding)
+            self.encoding._reachable_configs = view
+            return self._make_artifact(SAT_POSTSTAR, REACHABLE_KEY, view)
+
+        return self._memoized("saturation", REACHABLE_KEY, compute)
 
     def update_source(self, new_source):
         """Re-point this session at an edited version of its program,
@@ -334,6 +409,35 @@ class SlicingSession(object):
             return dict(self._stats)
 
     # -- internals -------------------------------------------------------------
+
+    def _content_keys(self):
+        """The per-procedure content keys of this session's front half
+        (the addressing footprints are expressed in), or None for
+        sessions built from a bare SDG — their artifacts get unknown
+        footprints, which is sound because such sessions cannot
+        :meth:`update_source` anyway."""
+        if self._proc_keys is None:
+            if self.source is None:
+                return None
+            from repro.engine.incremental import session_procedure_keys
+
+            session_procedure_keys(self)
+        return self._proc_keys
+
+    def _footprint_of(self, automaton):
+        """The ownership footprint of a trimmed automaton over this
+        front half (see :func:`repro.engine.artifacts
+        .artifact_footprint`)."""
+        from repro.engine.artifacts import artifact_footprint
+
+        return artifact_footprint(self.sdg, self._content_keys(), automaton)
+
+    def _make_artifact(self, sat_kind, sat_key, automaton):
+        """Package a freshly computed (already trimmed) saturation as a
+        relocatable artifact."""
+        return make_artifact(
+            sat_kind, sat_key, automaton, self.sdg, self._content_keys()
+        )
 
     def _feature_spec(self, feature):
         from repro.core.feature_removal import feature_seeds
@@ -380,9 +484,16 @@ class SlicingSession(object):
         return value
 
     def _compute_through_store(self, cache_kind, key, compute):
+        # The hash is snapshotted before the (possibly long) compute: a
+        # concurrent update_source may re-point the session mid-flight,
+        # and a value computed against the old front half must never be
+        # filed under the edited text's hash.
+        src_hash = self.source_hash
+        if cache_kind == "saturation":
+            return self._saturation_through_store(src_hash, key, compute)
         digest = self._persist_digest(cache_kind, key)
         if digest is not None:
-            value = self.store.get(self.source_hash, cache_kind, digest)
+            value = self.store.get(src_hash, cache_kind, digest)
             with self._lock:
                 self._stats[
                     "persist_hits" if value is not None else "persist_misses"
@@ -391,7 +502,30 @@ class SlicingSession(object):
                 return self._rehydrate(value)
         value = compute()
         if digest is not None:
-            self.store.put(self.source_hash, cache_kind, digest, self._slim(value))
+            self.store.put(src_hash, cache_kind, digest, self._slim(value))
+        return value
+
+    def _saturation_through_store(self, src_hash, key, compute):
+        """Saturation artifacts go through the store's ``__sats__``
+        table (front-half hash + stable key digest): a warm store hands
+        back the relocatable artifact — a new criterion against a warm
+        front half skips Poststar entirely and loads any Prestar
+        sibling whose key matches — and freshly computed artifacts are
+        persisted for the next process.  ``src_hash`` is the caller's
+        pre-compute snapshot of the front-half hash."""
+        digest = self._persist_digest("saturation", key, table_check=False)
+        if digest is not None:
+            value = self.store.get_sat(src_hash, digest)
+            loaded = isinstance(value, SaturationArtifact) and value.key == key
+            with self._lock:
+                self._stats[
+                    "sat_persist_hits" if loaded else "sat_persist_misses"
+                ] += 1
+            if loaded:
+                return value
+        value = compute()
+        if digest is not None:
+            self.store.put_sat(src_hash, digest, value)
         return value
 
     def _slim(self, value):
@@ -439,15 +573,17 @@ class SlicingSession(object):
             return tuple(self._rehydrate(item) for item in value)
         return value
 
-    def _persist_digest(self, cache_kind, key):
+    def _persist_digest(self, cache_kind, key, table_check=True):
         """The on-disk digest for a memo entry, or None when the entry
         is not persistable (no store, SDG-only session, or a criterion
         key — e.g. a user automaton with exotic states — that has no
-        process-independent rendering)."""
+        process-independent rendering).  Saturation entries pass
+        ``table_check=False``: they persist through the dedicated
+        ``__sats__`` table, not the per-program result tables."""
         if (
             self.store is None
             or self.source_hash is None
-            or cache_kind not in PERSISTED_TABLES
+            or (table_check and cache_kind not in PERSISTED_TABLES)
             or not is_stable_key(key)
         ):
             return None
@@ -509,10 +645,13 @@ class SlicingSession(object):
             cache_dir = self.store.cache_dir if self.store is not None else None
             max_bytes = self.store.max_bytes if self.store is not None else None
             workers = max_workers or min(len(to_compute), os.cpu_count() or 1)
+            artifacts = self._export_artifacts(
+                [key for key, _spec in to_compute]
+            )
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_process_worker_init,
-                initargs=(self.source, cache_dir, max_bytes),
+                initargs=(self.source, cache_dir, max_bytes, artifacts),
             ) as pool:
                 futures = {
                     key: pool.submit(_process_worker_slice, kind, payload, contexts)
@@ -530,13 +669,35 @@ class SlicingSession(object):
             results[key] = future.result() if future is not None else computed[key]
         return [results[key] for key in keys]
 
+    def _export_artifacts(self, slice_keys):
+        """The warm saturation artifacts worth shipping to process-pool
+        workers: the shared Poststar (every reachable-contexts worker
+        needs it) plus any Prestar whose criterion is in the batch —
+        the editor-loop case where an update dropped the rendered
+        results but their saturations survived.  Artifacts pickle
+        deterministically and carry no front-half references, so
+        shipping is cheap relative to one worker re-saturating."""
+        wanted = {saturation_key(SAT_PRESTAR, key) for key in slice_keys}
+        wanted.add(REACHABLE_KEY)
+        artifacts = []
+        with self._lock:
+            for (cache_kind, key), future in self._futures.items():
+                if (
+                    cache_kind == "saturation"
+                    and key in wanted
+                    and future.done()
+                    and future.exception() is None
+                ):
+                    artifacts.append(future.result())
+        return artifacts
+
 
 #: the per-process session a ProcessPoolExecutor worker slices through,
 #: built once by the pool initializer.
 _WORKER_SESSION = None
 
 
-def _process_worker_init(source, cache_dir, max_bytes):
+def _process_worker_init(source, cache_dir, max_bytes, artifacts=()):
     global _WORKER_SESSION
     store = None
     if cache_dir is not None:
@@ -544,6 +705,12 @@ def _process_worker_init(source, cache_dir, max_bytes):
 
         store = SliceStore(cache_dir, max_bytes=max_bytes)
     _WORKER_SESSION = SlicingSession(source, store=store)
+    # Warm artifacts shipped from the parent: install them into the
+    # fresh memo so this worker never re-saturates what the parent (or
+    # a sibling update) already computed.  The front half is rebuilt
+    # deterministically from the same source text, so symbols line up.
+    for artifact in artifacts:
+        _WORKER_SESSION._install("saturation", artifact.key, artifact)
 
 
 def _process_worker_slice(kind, payload, contexts):

@@ -3,7 +3,9 @@
 Provides exactly the operations Algorithm 1 and the §8.3 reslicing check
 need: reversal, subset-construction determinization, Hopcroft
 minimization, epsilon removal, product intersection, complementation,
-language equality, and finite-state transducers with inverse application.
+language equality, and finite-state transducers with inverse application
+— plus the deterministic serialization layer (:mod:`repro.fsa.serialize`)
+that relocatable saturation artifacts are built on.
 """
 
 from repro.fsa.automaton import FiniteAutomaton
@@ -19,11 +21,20 @@ from repro.fsa.ops import (
     reverse,
     union,
 )
+from repro.fsa.serialize import (
+    automaton_from_payload,
+    automaton_to_payload,
+    canonical_dfa,
+    structurally_equal,
+)
 from repro.fsa.transducer import Transducer
 
 __all__ = [
     "FiniteAutomaton",
     "Transducer",
+    "automaton_from_payload",
+    "automaton_to_payload",
+    "canonical_dfa",
     "complement",
     "determinize",
     "intersection",
@@ -33,5 +44,6 @@ __all__ = [
     "mrd",
     "remove_epsilon",
     "reverse",
+    "structurally_equal",
     "union",
 ]

@@ -25,12 +25,20 @@ from repro.fsa.automaton import EPSILON, FiniteAutomaton
 from repro.fsa.ops import remove_epsilon
 
 
-def poststar(pds, automaton):
+def poststar(pds, automaton, trim=False):
     """Saturate ``automaton`` with post* transitions; returns a new,
     epsilon-free :class:`FiniteAutomaton`.
 
     The input automaton must be epsilon-free and must have no
     transitions into initial (control-location) states.
+
+    With ``trim=True`` the result is restricted to its useful part
+    (states reachable from an initial state and co-reachable to a final
+    one) before it is returned.  Trimming preserves the configuration
+    language read from every initial state; the saturation engine uses
+    this form so a :class:`repro.engine.artifacts.SaturationArtifact`'s
+    symbol footprint falls straight out of the saturation instead of
+    being recomputed by every invalidation pass.
     """
     mid_state = {}
 
@@ -97,4 +105,5 @@ def poststar(pds, automaton):
         result.add_transition(p, gamma, q)
     for (p, q) in eps_rel:
         result.add_transition(p, EPSILON, q)
-    return remove_epsilon(result)
+    result = remove_epsilon(result)
+    return result.trim() if trim else result

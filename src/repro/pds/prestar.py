@@ -22,13 +22,19 @@ from collections import deque
 from repro.fsa.automaton import FiniteAutomaton
 
 
-def prestar(pds, automaton):
+def prestar(pds, automaton, trim=False):
     """Saturate ``automaton`` with pre* transitions; returns a new
     :class:`FiniteAutomaton` (the input is not modified).
 
     The input automaton must not have transitions *into* initial
     (control-location) states, and must be epsilon-free — both hold for
     query automata built by :mod:`repro.core.criteria`.
+
+    ``trim=True`` restricts the result to its useful part before
+    returning it (language-preserving from every initial state) — the
+    form :class:`repro.engine.artifacts.SaturationArtifact` carries, so
+    the symbol footprint is emitted by the saturation itself rather
+    than recomputed post-hoc at invalidation time.
     """
     rel = set()
     by_source_symbol = {}  # (q, γ) -> set of q2 with (q, γ, q2) ∈ rel
@@ -74,4 +80,4 @@ def prestar(pds, automaton):
         result.add_state(state)
     for (q, gamma, q1) in rel:
         result.add_transition(q, gamma, q1)
-    return result
+    return result.trim() if trim else result

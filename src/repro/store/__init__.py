@@ -4,17 +4,20 @@ The in-memory :class:`repro.engine.SlicingSession` memo dies with its
 process; this package is the durable layer underneath it:
 
 * :class:`SliceStore` — a content-addressed on-disk cache of front-half
-  bundles (parsed program + SDG + PDS encoding) and per-criterion
-  results, keyed by source-text hash and the engine's canonical
-  criterion keys, with versioned checksummed entries, atomic writes,
-  and an LRU size cap.
+  bundles (parsed program + SDG + PDS encoding), per-criterion
+  results, per-procedure parts (``__procs__``), and relocatable
+  saturation artifacts (``__sats__``), keyed by source-text hash and
+  the engine's canonical keys, with versioned checksummed entries,
+  atomic writes, and an LRU size cap.
 * :func:`open_store` / :func:`default_cache_dir` — the conventional
   way to get a store (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 
 Sessions use it transparently: ``repro.open_session(source,
-cache_dir=...)`` loads the front half from the store when warm and
-answers repeated criteria from disk with no saturation work at all.
-CLI: ``repro cache stats`` / ``repro cache clear`` and
+cache_dir=...)`` loads the front half from the store when warm,
+answers repeated criteria from disk with no saturation work at all,
+and answers *new* criteria against a warm front half by loading the
+persisted ``Poststar(entry_main)`` artifact instead of re-saturating.
+CLI: ``repro cache stats [--json]`` / ``repro cache clear`` and
 ``repro slice-batch --cache-dir``.
 """
 

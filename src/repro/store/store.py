@@ -11,6 +11,8 @@ text), one file per cached object inside it::
         feature_clean-<key_digest>.slc # pickled (raw, cleaned) slice pair
       __procs__/
         proc-<content_key>.slc         # pickled per-procedure ProcPart
+      __sats__/
+        sat-<digest>.slc               # pickled SaturationArtifact
 
 ``key_digest`` is :func:`repro.engine.canonical.stable_key_digest` of
 the same canonical criterion key the in-memory session memo uses, so
@@ -19,7 +21,15 @@ same".  The ``__procs__`` table is content-addressed by
 :func:`repro.engine.incremental.procedure_keys` digests: an edited
 program whose whole-program bundle misses can still assemble its front
 half from the unchanged procedures' parts (a *partial* hit, counted by
-``proc_hits``/``proc_misses``).
+``proc_hits``/``proc_misses``).  The ``__sats__`` table holds
+relocatable :class:`repro.engine.artifacts.SaturationArtifact` objects
+— the shared Poststar and the per-criterion Prestar/Poststar automata
+— keyed by front-half hash **plus** the saturation's stable key digest
+(``sat-<sha256(front_half_hash : key_digest)>``); a fresh process
+answering a *new* criterion against a warm front half loads the
+Poststar artifact instead of re-saturating, and an incremental
+``update_source`` re-files every surviving artifact under the edited
+text's hash (footprint-aware survival, composing with ``__procs__``).
 
 Entry format.  Every file is ``MAGIC | version | sha256(payload) |
 payload`` with the payload a pickle.  Reads verify all three prefixes;
@@ -48,7 +58,9 @@ import threading
 MAGIC = b"RSLC"
 #: Bump on any incompatible change to the entry format *or* to the
 #: pickled object graphs; old entries are then invalidated on read.
-STORE_VERSION = 1
+#: v2: results carry ownership footprints; saturations became
+#: first-class SaturationArtifact entries in the __sats__ table.
+STORE_VERSION = 2
 
 _VERSION_STRUCT = struct.Struct(">H")
 _HEADER_LEN = len(MAGIC) + _VERSION_STRUCT.size + hashlib.sha256().digest_size
@@ -56,9 +68,12 @@ _HEADER_LEN = len(MAGIC) + _VERSION_STRUCT.size + hashlib.sha256().digest_size
 _SUFFIX = ".slc"
 _TMP_SUFFIX = ".tmp"
 _FRONTHALF = "fronthalf"
-#: the content-addressed per-procedure table lives beside the
-#: per-program directories (source hashes are hex, so no collision)
+#: the content-addressed per-procedure and saturation-artifact tables
+#: live beside the per-program directories (source hashes are hex, so
+#: no collision)
 _PARTS_DIR = "__procs__"
+_SATS_DIR = "__sats__"
+_SPECIAL_DIRS = frozenset([_PARTS_DIR, _SATS_DIR])
 #: orphaned temp files older than this are swept during eviction/clear
 _TMP_GRACE_SECONDS = 60
 
@@ -113,6 +128,8 @@ class SliceStore(object):
             "misses": 0,
             "proc_hits": 0,
             "proc_misses": 0,
+            "sat_hits": 0,
+            "sat_misses": 0,
             "stores": 0,
             "evictions": 0,
             "invalid_dropped": 0,
@@ -175,6 +192,48 @@ class SliceStore(object):
         self._count("stores")
         self._note_written(written)
 
+    # -- the saturation-artifact table -----------------------------------------
+
+    @staticmethod
+    def sat_name(src_hash, key_digest):
+        """The ``__sats__`` file key for a saturation: sha256 over the
+        front-half hash and the saturation's stable key digest.  Both
+        inputs are deterministic hex digests, so the combined name is
+        stable across processes and interpreter runs."""
+        return hashlib.sha256(
+            ("%s:%s" % (src_hash, key_digest)).encode("utf-8")
+        ).hexdigest()
+
+    def get_sat(self, src_hash, key_digest):
+        """The cached :class:`~repro.engine.artifacts.SaturationArtifact`
+        for ``(front half, saturation key)``, or None.  Counted by
+        ``sat_hits``/``sat_misses``."""
+        value, ok = self._read(
+            self._entry_path(_SATS_DIR, "sat", self.sat_name(src_hash, key_digest))
+        )
+        self._count("sat_hits" if ok else "sat_misses")
+        return value
+
+    def put_sat(self, src_hash, key_digest, artifact):
+        """Cache one saturation artifact under its front-half hash and
+        key digest."""
+        written = self._write(
+            self._entry_path(_SATS_DIR, "sat", self.sat_name(src_hash, key_digest)),
+            artifact,
+        )
+        self._count("stores")
+        self._note_written(written)
+
+    def has_sat(self, src_hash, key_digest):
+        """Whether a saturation artifact exists on disk for the given
+        front-half hash and key digest (existence only — the entry is
+        still validated on read).  Lets ``update_source`` skip
+        re-serializing survivors the store already holds (the undo/redo
+        editor loop)."""
+        return os.path.exists(
+            self._entry_path(_SATS_DIR, "sat", self.sat_name(src_hash, key_digest))
+        )
+
     # -- maintenance -----------------------------------------------------------
 
     def clear(self):
@@ -191,19 +250,29 @@ class SliceStore(object):
         return removed
 
     def stats(self):
-        """A snapshot: on-disk shape (programs, entries, bytes) plus
-        this process's hit/miss/store/eviction counters."""
+        """A snapshot: on-disk shape (programs, entries, bytes, and a
+        per-table entry/byte breakdown) plus this process's
+        hit/miss/store/eviction counters.
+
+        ``tables`` maps table name (``fronthalf``, ``slice``,
+        ``feature``, ``feature_clean``, ``proc``, ``sat``) to entry
+        count; ``table_bytes`` maps the same names to total bytes, so
+        the new ``__sats__`` table (and every other one) is observable
+        from ``repro cache stats``.
+        """
         entries = self._entries()
         programs = set()
         tables = {}
-        for path, _size, _mtime in entries:
+        table_bytes = {}
+        for path, size, _mtime in entries:
             subdir = os.path.basename(os.path.dirname(path))
-            if subdir != _PARTS_DIR:
+            if subdir not in _SPECIAL_DIRS:
                 programs.add(subdir)
             table = os.path.basename(path).rsplit("-", 1)[0]
             if table.endswith(_SUFFIX):
                 table = table[: -len(_SUFFIX)]
             tables[table] = tables.get(table, 0) + 1
+            table_bytes[table] = table_bytes.get(table, 0) + size
         with self._lock:
             counters = dict(self._counters)
         counters.update(
@@ -214,6 +283,7 @@ class SliceStore(object):
             entries=len(entries),
             total_bytes=sum(size for _path, size, _mtime in entries),
             tables=tables,
+            table_bytes=table_bytes,
         )
         return counters
 

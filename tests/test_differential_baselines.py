@@ -152,3 +152,61 @@ def test_store_served_results_byte_identical(seed, tmp_path):
         assert pretty(fresh.executable(criterion).program) == pretty(
             reader.executable(criterion).program
         )
+
+
+def _delete_result_entries(cache, table="slice"):
+    """Remove the persisted per-criterion results (but nothing else),
+    so a warm session must recompute them — through whatever
+    saturations the ``__sats__`` table still holds."""
+    import glob
+    import os
+
+    removed = 0
+    for path in glob.glob(os.path.join(cache, "*", "%s-*.slc" % table)):
+        os.unlink(path)
+        removed += 1
+    return removed
+
+
+@pytest.mark.parametrize("seed", range(N_PROGRAMS))
+def test_sats_served_results_byte_identical(seed, tmp_path):
+    """The differential harness for the ``__sats__`` table, over the
+    full 26-program suite: with the persisted *results* deleted, a
+    fresh session must recompute every slice through the persisted
+    saturation artifacts — skipping Poststar entirely and loading the
+    Prestar siblings — and the recomputed results must be
+    byte-identical to a storeless cold session's."""
+    from repro.store import SliceStore
+
+    program, _info = generate_program(GenConfig(seed=seed, n_procs=3))
+    source = pretty(program)
+    cache = str(tmp_path / "cache")
+
+    fresh = SlicingSession(source)  # the storeless reference
+    prints = fresh.sdg.print_call_vertices()
+    if not prints:
+        pytest.skip("generated program has no print statements")
+    criteria = [("print", index) for index in range(min(len(prints), 2))]
+
+    writer = SlicingSession(source, store=SliceStore(cache))
+    writer.slice_many(criteria)
+    assert _delete_result_entries(cache) == len(criteria)
+
+    reader = SlicingSession(source, store=SliceStore(cache))
+    fresh_results = fresh.slice_many(criteria)
+    stored_results = reader.slice_many(criteria)
+
+    stats = reader.stats
+    assert stats["persist_hits"] == 0  # the results really were gone
+    # Shared Poststar + one Prestar per criterion, all loaded: the
+    # reader did zero saturation work of its own.
+    assert stats["sat_persist_hits"] == len(criteria) + 1
+    assert stats["sat_persist_misses"] == 0
+
+    for criterion, a, b in zip(criteria, fresh_results, stored_results):
+        assert a.version_counts() == b.version_counts()
+        assert a.closure_elems() == b.closure_elems()
+        assert set(a.map_back_vertex.values()) == set(b.map_back_vertex.values())
+        assert pretty(fresh.executable(criterion).program) == pretty(
+            reader.executable(criterion).program
+        )

@@ -444,6 +444,148 @@ def test_update_source_keeps_vertex_ids_of_unchanged_procs():
     assert set(after.map_back_vertex.values()) and after is not before
 
 
+# -- incremental feature removal (artifact-footprint survival) --------------------
+
+
+#: do_junk's whole effect cone is the removable feature; do_kept stays.
+FEATURE_SRC = """
+int kept;
+int junk;
+
+void do_junk(int c) {
+  junk = junk + c + 1;
+}
+
+void do_kept(int c) {
+  kept = kept + c + 1;
+}
+
+int main() {
+  int c = input();
+  kept = 0;
+  junk = 0;
+  do_junk(c);
+  do_kept(c);
+  print("%d", kept);
+  print("%d", junk);
+  return 0;
+}
+"""
+
+
+def test_update_source_keeps_feature_removal_outside_footprint():
+    """Feature-removal results are no longer dropped unconditionally on
+    update: removing the ``call do_junk`` statement leaves a residual program
+    whose footprint avoids do_junk entirely, so a label-only edit
+    *inside the removed feature* keeps the memoized removal, its §7
+    cleanup, and every saturation — zero recomputation."""
+    session = SlicingSession(FEATURE_SRC)
+    raw, cleaned = session.remove_feature_cleaned("call do_junk")
+    result = session.remove_feature("call do_junk")
+    keys = session._content_keys()
+    assert result.footprint is not None
+    assert keys["do_junk"] not in result.footprint
+    assert keys["do_kept"] in result.footprint
+
+    edited = FEATURE_SRC.replace("junk + c + 1", "junk + c + 2")
+    summary = session.update_source(edited)
+    assert summary["fast_path"] is True
+    assert summary["results_kept"] >= 2  # the removal and its cleanup
+    misses_before = session.stats
+    raw_again, cleaned_again = session.remove_feature_cleaned("call do_junk")
+    assert raw_again is raw and cleaned_again is cleaned
+    after = session.stats
+    assert after["feature_misses"] == misses_before["feature_misses"]
+    assert after["saturation_misses"] == misses_before["saturation_misses"]
+    # The edit only touched the removed feature, so the survivor is
+    # still byte-identical to a cold removal of the edited text.
+    cold = SlicingSession(edited)
+    _cold_raw, cold_cleaned = cold.remove_feature_cleaned("call do_junk")
+    assert repro.pretty(cleaned_again.program) == repro.pretty(cold_cleaned.program)
+
+
+def test_update_source_drops_feature_removal_inside_footprint():
+    """The invalidation edge case: an edit *in the kept cone* (do_kept
+    renders into the residual program) must drop the removal — keeping
+    it would serve a stale rendered text — and the recomputation must
+    match a cold session."""
+    session = SlicingSession(FEATURE_SRC)
+    session.remove_feature_cleaned("call do_junk")
+    edited = FEATURE_SRC.replace("kept + c + 1", "kept + c + 2")
+    summary = session.update_source(edited)
+    assert summary["fast_path"] is True
+    assert summary["results_dropped"] >= 2  # the removal and its cleanup
+    _raw, cleaned = session.remove_feature_cleaned("call do_junk")
+    assert "c + 2" in repro.pretty(cleaned.program)
+    cold = SlicingSession(edited)
+    _cold_raw, cold_cleaned = cold.remove_feature_cleaned("call do_junk")
+    assert repro.pretty(cleaned.program) == repro.pretty(cold_cleaned.program)
+
+
+def test_feature_cone_saturation_survives_edit_pr3_dropped():
+    """The acceptance demonstrator: a saturation PR 3's logic always
+    recomputed now survives an edit.  PR 3 dropped every feature memo
+    entry on update and its Algorithm 2 re-ran ``Poststar(A_C)`` from
+    scratch; the cone is now a first-class artifact, so after an edit
+    that invalidates the rendered removal the re-removal finds *both*
+    Poststars (shared + cone) in the memo and does no saturation work
+    at all."""
+    session = SlicingSession(FEATURE_SRC)
+    session.remove_feature_cleaned("call do_junk")
+    stats = session.stats
+    # reachable-configs + the feature's forward cone.
+    assert stats["saturation_misses"] == 2
+
+    edited = FEATURE_SRC.replace("kept + c + 1", "kept + c + 2")
+    summary = session.update_source(edited)
+    assert summary["fast_path"] is True
+    # Every saturation artifact survived the edit...
+    assert summary["saturations_kept"] == 2
+    assert summary["saturations_dropped"] == 0
+    # ...and the rendered removal did not (do_kept is in its cone).
+    assert summary["results_dropped"] >= 1
+
+    session.remove_feature_cleaned("call do_junk")
+    after = session.stats
+    assert after["saturation_misses"] == 2  # no new saturation ran
+    assert after["saturation_hits"] >= stats["saturation_hits"] + 2
+
+
+def test_process_backend_ships_artifacts_to_workers():
+    """The worker initializer installs the parent's shipped artifacts:
+    a worker slicing a reachable-contexts criterion hits the installed
+    Poststar instead of re-saturating."""
+    from repro.engine import session as session_module
+    from repro.engine.session import _process_worker_init, _process_worker_slice
+
+    parent = SlicingSession(FIG1_SOURCE)
+    parent.slice()
+    artifacts = parent._export_artifacts(
+        [canonical_key(*resolve_criterion_spec(parent.sdg, "prints"), "reachable")]
+    )
+    # The shared Poststar plus the batch criterion's Prestar.
+    assert {artifact.key[0] for artifact in artifacts} == {
+        "reachable-configs",
+        "prestar",
+    }
+
+    saved = session_module._WORKER_SESSION
+    try:
+        _process_worker_init(FIG1_SOURCE, None, None, artifacts)
+        worker = session_module._WORKER_SESSION
+        kind, payload = resolve_criterion_spec(worker.sdg, "prints")
+        slim = _process_worker_slice(kind, payload, "reachable")
+        stats = worker.stats
+        assert stats["saturation_misses"] == 0
+        assert stats["saturation_hits"] == 2
+        assert slim.source_sdg is None  # shipped back slim
+        assert sorted(spec.name for spec in slim.pdgs.values()) == sorted(
+            spec.name for spec in parent.slice().pdgs.values()
+        )
+    finally:
+        session_module._WORKER_SESSION = saved
+
+
 # -- canonicalization unit checks -------------------------------------------------
 
 

@@ -187,8 +187,9 @@ def test_stale_temp_files_are_swept(tmp_path):
 
 def test_stored_entries_are_slim(tmp_path):
     """Per-criterion entries must not embed their own copy of the front
-    half: every slice / feature / feature_clean file stays smaller than
-    the shared fronthalf bundle it would otherwise duplicate."""
+    half: every slice / feature / feature_clean / saturation-artifact
+    file stays smaller than the shared fronthalf bundle it would
+    otherwise duplicate."""
     from repro.workloads.paper_figures import FIG16_SOURCE
 
     store = _store(tmp_path)
@@ -202,8 +203,15 @@ def test_stored_entries_are_slim(tmp_path):
             os.path.getsize(path),
             sizes.get(name.split("-")[0].replace(".slc", ""), 0),
         )
-    assert set(sizes) == {"fronthalf", "slice", "feature", "feature_clean", "proc"}
-    for table in ("slice", "feature", "feature_clean", "proc"):
+    assert set(sizes) == {
+        "fronthalf",
+        "slice",
+        "feature",
+        "feature_clean",
+        "proc",
+        "sat",
+    }
+    for table in ("slice", "feature", "feature_clean", "proc", "sat"):
         assert sizes[table] < sizes["fronthalf"], (
             "%s entry (%d bytes) should be slim, not embed another front "
             "half (%d bytes)" % (table, sizes[table], sizes["fronthalf"])
@@ -376,12 +384,47 @@ def test_cache_cli_stats_and_clear(tmp_path):
 
     stats = run_cli(["cache", "stats", "--cache-dir", cache])
     assert "programs:     1" in stats
-    assert "slice" in stats and "fronthalf" in stats
+    # The per-table breakdown: every table with its entry and byte
+    # counts, the shared content-addressed tables under their on-disk
+    # names.
+    for table in ("slice", "front-half", "__procs__", "__sats__"):
+        assert table in stats, stats
+    assert "entries" in stats and "bytes" in stats
 
     cleared = run_cli(["cache", "clear", "--cache-dir", cache])
     assert "removed" in cleared
     stats = run_cli(["cache", "stats", "--cache-dir", cache])
     assert "entries:      0" in stats
+
+
+def test_cache_cli_stats_json(tmp_path):
+    """``repro cache stats --json`` emits the full machine-readable
+    stats dict, per-table entry/byte breakdown included."""
+    import json
+
+    cache = str(tmp_path / "cache")
+    source_file = tmp_path / "fig1.tc"
+    source_file.write_text(FIG1_SOURCE)
+    run_cli(["slice-batch", str(source_file), "--cache-dir", cache])
+
+    stats = json.loads(run_cli(["cache", "stats", "--json", "--cache-dir", cache]))
+    assert stats["programs"] == 1
+    assert stats["version"] == STORE_VERSION
+    # One front half, one slice result, per-procedure parts, and the
+    # two saturation artifacts (shared Poststar + the criterion's
+    # Prestar) — each with a parallel byte count.
+    assert stats["tables"]["fronthalf"] == 1
+    assert stats["tables"]["slice"] >= 1
+    assert stats["tables"]["proc"] >= 1
+    assert stats["tables"]["sat"] == 2
+    for table, count in stats["tables"].items():
+        assert stats["table_bytes"][table] > 0, table
+    assert stats["total_bytes"] == sum(stats["table_bytes"].values())
+    # An empty store renders valid JSON too.
+    empty = json.loads(
+        run_cli(["cache", "stats", "--json", "--cache-dir", str(tmp_path / "none")])
+    )
+    assert empty["entries"] == 0 and empty["tables"] == {}
 
 
 # -- per-procedure content keys (the incremental layer's addressing) ---------------
