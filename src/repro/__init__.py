@@ -94,11 +94,11 @@ def load_source(source):
 
 
 _session_lock = threading.Lock()
-_session_cache = {}  # (sha256(source), cache dir) -> SlicingSession, insertion-ordered
+_session_cache = {}  # (sha256(source), cache dir, kernel) -> SlicingSession, insertion-ordered
 _SESSION_CACHE_MAX = 32
 
 
-def open_session(source, cache_dir=None):
+def open_session(source, cache_dir=None, kernel=None):
     """Open (or return the cached) :class:`repro.engine.SlicingSession`
     for ``source``.
 
@@ -111,20 +111,31 @@ def open_session(source, cache_dir=None):
     With ``cache_dir``, the session is backed by the persistent
     :class:`repro.store.SliceStore` there: the front half is loaded
     from disk when warm and slice results survive process restarts.
-    """
+
+    ``kernel`` picks the saturation/automaton kernel the session runs on
+    (``"object"`` or ``"csr"``; default the ``REPRO_KERNEL`` environment
+    knob — see :mod:`repro.kernelcfg`).  Kernels are byte-identical, so
+    the choice is part of the cache key only to keep each session's
+    ``kernel_*`` stat counters meaningful."""
+    from repro import kernelcfg
     from repro.engine import SlicingSession
     from repro.store import SliceStore, source_hash
 
     store = SliceStore(cache_dir) if cache_dir is not None else None
+    kernel = kernelcfg.resolve_kernel(kernel)
     # One hash implementation for the in-memory session cache and the
     # on-disk store (repro.store.source_hash), so the two layers can
     # never disagree about which sources are "the same program".
-    key = (source_hash(source), store.cache_dir if store is not None else None)
+    key = (
+        source_hash(source),
+        store.cache_dir if store is not None else None,
+        kernel,
+    )
     with _session_lock:
         session = _session_cache.get(key)
     if session is not None:
         return session
-    session = SlicingSession(source, store=store)
+    session = SlicingSession(source, store=store, kernel=kernel)
     with _session_lock:
         # A concurrent opener may have won the race; keep its session so
         # callers converge on one memo table.
@@ -145,7 +156,7 @@ def _session_rekeyed(session, old_hash):
     with _session_lock:
         for key in [k for k in _session_cache if _session_cache[k] is session]:
             _session_cache.pop(key)
-            _session_cache[(session.source_hash, key[1])] = session
+            _session_cache[(session.source_hash,) + key[1:]] = session
 
 
 def slice_source(source, print_index=None, contexts="reachable"):

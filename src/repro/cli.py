@@ -17,11 +17,15 @@ Commands:
   opens the session for a previous revision of the file and
   incrementally updates it to the current text (unchanged procedures
   keep their PDGs and saturations; see
-  :mod:`repro.engine.incremental`).
+  :mod:`repro.engine.incremental`).  ``--kernel {object,csr}`` picks
+  the saturation kernel (default the ``REPRO_KERNEL`` environment
+  knob; byte-identical results either way, see
+  :mod:`repro.kernelcfg`).
 * ``cache``     — manage the persistent store: ``cache stats``
   (``--json`` for machine-readable output; both forms break entries
   and bytes down per table, including the ``__procs__`` and
-  ``__sats__`` shared tables) and ``cache clear`` (all honor
+  ``__sats__`` shared tables, and report the active saturation kernel
+  plus this process's kernel counters) and ``cache clear`` (all honor
   ``--cache-dir``, default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 * ``mono``      — the same criterion, Binkley's monovariant slice.
 * ``remove``    — feature removal from a statement matched by
@@ -122,12 +126,16 @@ def cmd_slice_batch(args):
         try:
             with open(args.reuse_from) as handle:
                 previous = handle.read()
-            session = repro.open_session(previous, cache_dir=args.cache_dir)
+            session = repro.open_session(
+                previous, cache_dir=args.cache_dir, kernel=args.kernel
+            )
             update = session.update_source(source)
         except Exception as exc:
             raise SystemExit("error: --reuse-from update failed: %s" % exc)
     else:
-        session = repro.open_session(source, cache_dir=args.cache_dir)
+        session = repro.open_session(
+            source, cache_dir=args.cache_dir, kernel=args.kernel
+        )
     prints = session.sdg.print_call_vertices()
     if not prints:
         raise SystemExit("error: the program has no print statements")
@@ -166,6 +174,14 @@ def cmd_slice_batch(args):
             stats["load_seconds"],
             stats["slice_hits"],
             stats["slice_misses"],
+        )
+    )
+    lines.append(
+        "kernel: %s (%d rules compiled, %d worklist pops)"
+        % (
+            stats["kernel"],
+            stats["kernel_rules_compiled"],
+            stats["kernel_worklist_pops"],
         )
     )
     if update is not None:
@@ -207,11 +223,21 @@ _TABLE_LABELS = {
 
 
 def cmd_cache(args):
+    from repro import kernelcfg
+    from repro.pds.kernel import KERNEL_TOTALS
     from repro.store import open_store
 
     store = open_store(args.cache_dir)
     if args.cache_command == "stats":
         stats = store.stats()
+        # The saturation kernel in effect and this process's kernel
+        # counters ride along so batch drivers scraping the JSON see
+        # which kernel produced the entries they are about to reuse.
+        stats["kernel"] = {
+            "name": kernelcfg.resolve_kernel(None),
+            "rules_compiled": KERNEL_TOTALS["rules_compiled"],
+            "worklist_pops": KERNEL_TOTALS["worklist_pops"],
+        }
         if getattr(args, "as_json", False):
             import json
 
@@ -223,6 +249,7 @@ def cmd_cache(args):
             "entries:      %d" % stats["entries"],
             "total bytes:  %d" % stats["total_bytes"],
             "size cap:     %d" % stats["max_bytes"],
+            "kernel:       %s" % stats["kernel"]["name"],
         ]
         for table in sorted(stats["tables"]):
             lines.append(
@@ -327,6 +354,13 @@ def build_parser():
         metavar="PREV_FILE",
         help="incrementally update the session for PREV_FILE (a previous "
         "revision of FILE) instead of building from scratch",
+    )
+    p_batch.add_argument(
+        "--kernel",
+        choices=("object", "csr"),
+        default=None,
+        help="saturation kernel (default: $REPRO_KERNEL or 'object'; "
+        "results are byte-identical either way)",
     )
     p_batch.set_defaults(func=cmd_slice_batch)
 

@@ -64,23 +64,25 @@ def configs_criterion(encoding, configs):
     return automaton
 
 
-def reachable_configs_automaton(encoding):
+def reachable_configs_automaton(encoding, kernel=None, stats=None):
     """An automaton for *all* configurations reachable in the unrolled
     SDG from ``(entry_main, ε)`` — the language
     ``Poststar[P](entry_main)`` used by Alg. 2 line 5 and by the
-    reslicing check.  Criterion-independent, so cached per encoding."""
+    reslicing check.  Criterion-independent, so cached per encoding
+    (``kernel``/``stats`` reach the saturation only on the cold
+    compute; both kernels cache structurally identical automata)."""
     cached = getattr(encoding, "_reachable_configs", None)
     if cached is not None:
         return cached
     sdg = encoding.sdg
     entry_main = sdg.entry_vertex["main"]
     query = empty_stack_criterion(encoding, [entry_main])
-    result = poststar(encoding.pds, query)
+    result = poststar(encoding.pds, query, kernel=kernel, stats=stats)
     encoding._reachable_configs = result
     return result
 
 
-def reachable_query_view(encoding):
+def reachable_query_view(encoding, kernel=None, stats=None):
     """The reachable-configuration language as a trimmed single-initial
     query view (:func:`as_query_view` of
     :func:`reachable_configs_automaton`) — criterion-independent, so
@@ -92,12 +94,15 @@ def reachable_query_view(encoding):
     """
     cached = getattr(encoding, "_reachable_view", None)
     if cached is None:
-        cached = as_query_view(reachable_configs_automaton(encoding), encoding)
+        cached = as_query_view(
+            reachable_configs_automaton(encoding, kernel=kernel, stats=stats),
+            encoding,
+        )
         encoding._reachable_view = cached
     return cached
 
 
-def reachable_contexts_criterion(encoding, vids):
+def reachable_contexts_criterion(encoding, vids, kernel=None):
     """Accepts ``{(v, w) : v in vids, (v, w) reachable}`` — the "slice
     from every calling context of these vertices" criterion.
 
@@ -105,7 +110,7 @@ def reachable_contexts_criterion(encoding, vids):
     ``vids · Γ_c*`` and rebasing the initial state back onto the control
     location so the result is a valid Prestar query automaton.
     """
-    reachable_view = reachable_query_view(encoding)
+    reachable_view = reachable_query_view(encoding, kernel=kernel)
     broad = all_contexts_criterion(encoding, vids)
     product = intersection(reachable_view, broad).trim()
     if not product.states:

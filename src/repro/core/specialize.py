@@ -12,6 +12,7 @@ Step 5 (pretty-printing R as source text) lives in
 
 import time
 
+from repro import kernelcfg
 from repro.core.criteria import (
     as_query_view,
     empty_stack_criterion,
@@ -95,7 +96,7 @@ class SpecializationResult(object):
         return self.pdgs[callee_state].name
 
 
-def resolve_criterion(encoding, criterion, contexts="reachable"):
+def resolve_criterion(encoding, criterion, contexts="reachable", kernel=None):
     """Turn a criterion — a prepared query automaton or an iterable of
     PDG vertex ids — into the query automaton ``A0``.
 
@@ -104,18 +105,22 @@ def resolve_criterion(encoding, criterion, contexts="reachable"):
     vertices (the wc/go style criterion); ``"empty"`` slices from the
     vertices with the empty stack only (the Fig. 9 style criterion —
     vertices must then be in ``main``).
+
+    ``kernel`` selects the saturation kernel for the shared Poststar a
+    ``"reachable"`` completion may have to run (see
+    :mod:`repro.kernelcfg`).
     """
     if hasattr(criterion, "add_transition"):
         return criterion
     vids = sorted(criterion)
     if contexts == "reachable":
-        return reachable_contexts_criterion(encoding, vids)
+        return reachable_contexts_criterion(encoding, vids, kernel=kernel)
     if contexts == "empty":
         return empty_stack_criterion(encoding, vids)
     raise ValueError("contexts must be 'reachable' or 'empty'")
 
 
-def specialization_slice(sdg, criterion, contexts="reachable", a1=None):
+def specialization_slice(sdg, criterion, contexts="reachable", a1=None, kernel=None):
     """Run Algorithm 1.
 
     Args:
@@ -128,10 +133,17 @@ def specialization_slice(sdg, criterion, contexts="reachable", a1=None):
             :class:`repro.engine.SlicingSession` memo passes this so a
             repeated criterion skips re-saturation); must correspond to
             ``criterion``.
+        kernel: the saturation/automaton kernel (:mod:`repro.kernelcfg`;
+            default: the ``REPRO_KERNEL`` environment knob).  Under
+            ``"csr"``, Prestar runs on the flat integer kernel and
+            lines 4–8 run as one fused pass over the int codec —
+            structurally identical output, so ``result`` is
+            byte-for-byte the same either way.
 
     Returns:
         a :class:`SpecializationResult`.
     """
+    kernel = kernelcfg.resolve_kernel(kernel)
     result = SpecializationResult()
     result.source_sdg = sdg
 
@@ -139,24 +151,40 @@ def specialization_slice(sdg, criterion, contexts="reachable", a1=None):
     encoding = encode_sdg(sdg)
     result.encoding = encoding
 
-    a0 = resolve_criterion(encoding, criterion, contexts)
+    a0 = resolve_criterion(encoding, criterion, contexts, kernel=kernel)
     result.criterion = a0
 
     t1 = time.perf_counter()
+    kernel_stats = {}
     if a1 is None:
-        a1 = prestar(encoding.pds, a0)
+        a1 = prestar(encoding.pds, a0, kernel=kernel, stats=kernel_stats)
     result.a1 = a1
     t2 = time.perf_counter()
 
     # Lines 4-8: the five automaton operations, instrumented separately
     # so experiments can report determinize input/output sizes (§4.2).
     view = as_query_view(a1, encoding)
-    a2 = reverse(view)
-    a2 = remove_epsilon(a2) if a2.has_epsilon() else a2
-    a3 = determinize(a2)
-    a4 = minimize(a3)
-    a5 = reverse(a4)
-    a6 = remove_epsilon(a5) if a5.has_epsilon() else a5
+    fused = None
+    if kernel == kernelcfg.CSR:
+        from repro.fsa.intops import mrd_int
+
+        # One fused pass (reverse; determinize; minimize; reverse) over
+        # the int codec; falls back below iff the view has epsilon
+        # transitions, which saturation views never do.
+        fused = mrd_int(view)
+    if fused is not None:
+        a6, a3_states, a4_states = fused
+        a2_states = len(view.states)
+    else:
+        a2 = reverse(view)
+        a2 = remove_epsilon(a2, kernel=kernel) if a2.has_epsilon() else a2
+        a3 = determinize(a2, kernel=kernel)
+        a4 = minimize(a3, kernel=kernel)
+        a5 = reverse(a4)
+        a6 = remove_epsilon(a5, kernel=kernel) if a5.has_epsilon() else a5
+        a2_states = len(a2.states)
+        a3_states = len(a3.states)
+        a4_states = len(a4.states)
     result.a6 = a6
     t3 = time.perf_counter()
 
@@ -171,17 +199,19 @@ def specialization_slice(sdg, criterion, contexts="reachable", a1=None):
     result.map_back_vertex = map_back_vertex
     result.map_back_site = map_back_site
     result.stats = {
+        "kernel": kernel,
         "encode_seconds": t1 - t0,
         "prestar_seconds": t2 - t1,
         "automaton_seconds": t3 - t2,
         "readout_seconds": t4 - t3,
         "total_seconds": t4 - t0,
         "a1_states": len(view.states),
-        "a2_states": len(a2.states),
-        "a3_states": len(a3.states),
-        "a4_states": len(a4.states),
+        "a2_states": a2_states,
+        "a3_states": a3_states,
+        "a4_states": a4_states,
         "a6_states": len(a6.states),
-        "determinize_input_states": len(a2.states),
-        "determinize_output_states": len(a3.states),
+        "determinize_input_states": a2_states,
+        "determinize_output_states": a3_states,
     }
+    result.stats.update(kernel_stats)
     return result

@@ -48,6 +48,7 @@ import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro import kernelcfg
 from repro.core.criteria import configs_criterion
 from repro.core.executable import executable_program
 from repro.core.specialize import resolve_criterion, specialization_slice
@@ -93,11 +94,19 @@ class SlicingSession(object):
             key), or None.
         store: the attached :class:`SliceStore`, or None.
         program / info / sdg / encoding: the shared front half.
+        kernel: the saturation/automaton kernel every query runs on
+            (:mod:`repro.kernelcfg`; default the ``REPRO_KERNEL``
+            environment knob).  Kernels are byte-identical, so this
+            never affects results, memo keys, or store entries — only
+            speed and the ``kernel_*`` counters in :attr:`stats`.
     """
 
-    def __init__(self, source=None, program=None, info=None, sdg=None, store=None):
+    def __init__(
+        self, source=None, program=None, info=None, sdg=None, store=None, kernel=None
+    ):
         t0 = time.perf_counter()
         self.store = store
+        self.kernel = kernelcfg.resolve_kernel(kernel)
         self.source_hash = None
         self._proc_keys = None  # per-procedure content keys, computed lazily
         self.last_update = None  # summary of the most recent update_source
@@ -141,6 +150,9 @@ class SlicingSession(object):
         self._lock = threading.Lock()
         self._futures = {}  # (cache kind, criterion key) -> Future
         self._stats = {
+            "kernel": self.kernel,
+            "kernel_rules_compiled": 0,
+            "kernel_worklist_pops": 0,
             "load_seconds": time.perf_counter() - t0,
             "front_half_from_store": front_half_cached,
             "front_half_parts_hits": parts_hit,
@@ -206,11 +218,12 @@ class SlicingSession(object):
                 lambda: self._make_artifact(
                     SAT_PRESTAR,
                     sat_key,
-                    prestar(self.encoding.pds, a0, trim=True),
+                    self._saturate(prestar, a0, trim=True),
                 ),
             )
             result = specialization_slice(
-                self.sdg, a0, contexts=contexts, a1=artifact.automaton
+                self.sdg, a0, contexts=contexts, a1=artifact.automaton,
+                kernel=self.kernel,
             )
             result.footprint = artifact.footprint
             return result
@@ -296,7 +309,7 @@ class SlicingSession(object):
                 lambda: self._make_artifact(
                     SAT_POSTSTAR,
                     sat_key,
-                    poststar(self.encoding.pds, a_c, trim=True),
+                    self._saturate(poststar, a_c, trim=True),
                 ),
             )
             result = remove_feature(self.sdg, a_c, a0=cone.automaton)
@@ -366,7 +379,9 @@ class SlicingSession(object):
         from repro.core.criteria import reachable_query_view
 
         def compute():
-            view = reachable_query_view(self.encoding)
+            sink = {}
+            view = reachable_query_view(self.encoding, kernel=self.kernel, stats=sink)
+            self._absorb_kernel_stats(sink)
             self.encoding._reachable_configs = view
             return self._make_artifact(SAT_POSTSTAR, REACHABLE_KEY, view)
 
@@ -432,6 +447,26 @@ class SlicingSession(object):
 
         return artifact_footprint(self.sdg, self._content_keys(), automaton)
 
+    def _saturate(self, saturation, query, trim=False):
+        """Run a saturation (``prestar``/``poststar``) on the session's
+        kernel, folding its counters into :attr:`stats`."""
+        sink = {}
+        result = saturation(
+            self.encoding.pds, query, trim=trim, kernel=self.kernel, stats=sink
+        )
+        self._absorb_kernel_stats(sink)
+        return result
+
+    def _absorb_kernel_stats(self, sink):
+        """Accumulate one call's ``kernel_*`` counters into the session
+        totals (thread-safe: queries run concurrently)."""
+        if not sink:
+            return
+        with self._lock:
+            for name, value in sink.items():
+                if name.startswith("kernel_"):
+                    self._stats[name] = self._stats.get(name, 0) + value
+
     def _make_artifact(self, sat_kind, sat_key, automaton):
         """Package a freshly computed (already trimmed) saturation as a
         relocatable artifact."""
@@ -453,7 +488,7 @@ class SlicingSession(object):
             return configs_criterion(self.encoding, payload)
         if contexts == "reachable":
             self.reachable_configs()
-        return resolve_criterion(self.encoding, payload, contexts)
+        return resolve_criterion(self.encoding, payload, contexts, kernel=self.kernel)
 
     def _memoized(self, cache_kind, key, compute):
         """One-future-per-key memoization: the first submitter computes,
@@ -651,7 +686,7 @@ class SlicingSession(object):
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_process_worker_init,
-                initargs=(self.source, cache_dir, max_bytes, artifacts),
+                initargs=(self.source, cache_dir, max_bytes, artifacts, self.kernel),
             ) as pool:
                 futures = {
                     key: pool.submit(_process_worker_slice, kind, payload, contexts)
@@ -697,14 +732,14 @@ class SlicingSession(object):
 _WORKER_SESSION = None
 
 
-def _process_worker_init(source, cache_dir, max_bytes, artifacts=()):
+def _process_worker_init(source, cache_dir, max_bytes, artifacts=(), kernel=None):
     global _WORKER_SESSION
     store = None
     if cache_dir is not None:
         from repro.store import SliceStore
 
         store = SliceStore(cache_dir, max_bytes=max_bytes)
-    _WORKER_SESSION = SlicingSession(source, store=store)
+    _WORKER_SESSION = SlicingSession(source, store=store, kernel=kernel)
     # Warm artifacts shipped from the parent: install them into the
     # fresh memo so this worker never re-saturates what the parent (or
     # a sibling update) already computed.  The front half is rebuilt

@@ -8,11 +8,21 @@ the (total) dead state is left implicit — the result may be partial.
 
 from collections import deque
 
+from repro import kernelcfg
 from repro.fsa.automaton import EPSILON, FiniteAutomaton
 
 
-def determinize(automaton):
-    """Return an equivalent deterministic automaton (subset construction)."""
+def determinize(automaton, kernel=None):
+    """Return an equivalent deterministic automaton (subset construction).
+
+    ``kernel`` selects the implementation (default: the ``REPRO_KERNEL``
+    environment knob): the ``csr`` kernel runs the construction over the
+    :mod:`repro.fsa.intcodec` bitset representation and decodes to the
+    structurally identical result (same frozenset states)."""
+    if kernelcfg.resolve_kernel(kernel) == kernelcfg.CSR:
+        from repro.fsa.intops import determinize_int
+
+        return determinize_int(automaton)
     start = frozenset(automaton.epsilon_closure(automaton.initials))
     result = FiniteAutomaton(initials=[start])
     if start & automaton.finals:

@@ -14,13 +14,23 @@ benchmark ``benchmarks/test_determinize_shrink.py`` confirms minimize is
 never the bottleneck.
 """
 
+from repro import kernelcfg
 from repro.fsa.automaton import FiniteAutomaton
 
 _DEAD = ("__dead__",)
 
 
-def minimize(automaton):
-    """Return the minimal trim DFA equivalent to ``automaton``."""
+def minimize(automaton, kernel=None):
+    """Return the minimal trim DFA equivalent to ``automaton``.
+
+    ``kernel`` selects the implementation (default: the ``REPRO_KERNEL``
+    environment knob): the ``csr`` kernel refines over int ids and
+    bitsets (:mod:`repro.fsa.intops`) and decodes to the structurally
+    identical quotient (same frozenset block states)."""
+    if kernelcfg.resolve_kernel(kernel) == kernelcfg.CSR:
+        from repro.fsa.intops import minimize_int
+
+        return minimize_int(automaton)
     if not automaton.is_deterministic():
         raise ValueError("minimize requires a deterministic automaton")
     trimmed = automaton.trim()

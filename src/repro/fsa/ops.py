@@ -4,6 +4,7 @@ Algorithm 1 (lines 4–8)."""
 
 from collections import deque
 
+from repro import kernelcfg
 from repro.fsa.automaton import EPSILON, FiniteAutomaton
 from repro.fsa.determinize import determinize
 from repro.fsa.minimize import minimize
@@ -24,8 +25,17 @@ def reverse(automaton):
     return result
 
 
-def remove_epsilon(automaton):
-    """An equivalent automaton with no epsilon transitions."""
+def remove_epsilon(automaton, kernel=None):
+    """An equivalent automaton with no epsilon transitions.
+
+    ``kernel`` selects the implementation (default: the ``REPRO_KERNEL``
+    environment knob); the ``csr`` kernel computes the closures over
+    bitsets (:mod:`repro.fsa.intops`) with structurally identical
+    output."""
+    if kernelcfg.resolve_kernel(kernel) == kernelcfg.CSR:
+        from repro.fsa.intops import remove_epsilon_int
+
+        return remove_epsilon_int(automaton)
     result = FiniteAutomaton()
     for state in automaton.initials:
         result.add_initial(state)

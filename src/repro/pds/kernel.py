@@ -1,0 +1,510 @@
+"""The ``csr`` saturation kernel: flat, integer-indexed ``post*`` /
+``pre*``.
+
+The object saturations (:mod:`repro.pds.poststar`,
+:mod:`repro.pds.prestar`) spend their inner loops hashing tuples: every
+worklist item is a ``(state, symbol, state)`` triple of arbitrary
+objects, every rule lookup a dict probe on an object pair.  This module
+runs the same algorithms over machine ints:
+
+* the PDS is *compiled* once per :class:`~repro.pds.system
+  .PushdownSystem` — rules sorted into CSR-style parallel arrays
+  (``rule_kind`` / ``rule_p2`` / ``rule_w0`` / ``rule_w1`` /
+  ``rule_mid``) indexed by a row table keyed on the packed
+  ``control-state * nsyms + stack-symbol`` left-hand-side code, plus
+  packed right-hand-side indexes for Prestar and a precomputed table of
+  Poststar mid states;
+* per call, automaton states and any symbols the query introduces
+  beyond the PDS alphabet get dense ids after the compiled ones, and
+  every transition becomes one int ``(src * NS + sym) * NQ + dst``
+  (epsilon transitions ride as negative codes), with successor sets as
+  int bitsets;
+* the saturation worklists then push, pop, dedup, and index nothing
+  but ints; only the final fixpoint is decoded back into a
+  :class:`~repro.fsa.automaton.FiniteAutomaton`.
+
+Both saturations compute least fixpoints, so the decoded result is
+*structurally identical* to the object kernel's — same state objects
+(control locations, query states, ``("__post__", p, γ)`` mid states),
+same transition sets — and everything downstream (serialization, store
+digests, artifact footprints) is byte-for-byte unchanged.  That
+contract is pinned by ``tests/test_kernel_differential.py`` and
+``tests/test_kernel_properties.py``.
+
+The compiled form is cached in a :class:`weakref.WeakKeyDictionary`
+keyed by the PDS object — deliberately *not* as a PDS attribute,
+because the PDS travels inside pickled SDG store bundles
+(``SDG.__getstate__`` keeps the encoding) and the compiled arrays must
+never leak into store bytes.
+"""
+
+import weakref
+from collections import deque
+
+from repro.fsa.automaton import EPSILON
+from repro.fsa.intcodec import assemble_automaton, iter_bits
+
+#: process-wide kernel counters (diagnostics; ``repro cache stats
+#: --json`` and the benchmarks read session-level copies instead).
+KERNEL_TOTALS = {
+    "rules_compiled": 0,
+    "worklist_pops": 0,
+}
+
+
+class CompiledPDS(object):
+    """A :class:`PushdownSystem` flattened to int arrays (see the
+    module docstring).  State ids: control locations first
+    (``[0, nlocs)``), then the Poststar mid states
+    (``[nlocs, nlocs + nmids)``); per-call query states are appended
+    after these.  Symbol ids: the PDS stack symbols ``[0, nsyms)``;
+    query-only symbols are appended per call."""
+
+    __slots__ = (
+        "nlocs",
+        "nsyms",
+        "nmids",
+        "rule_count",
+        "loc_list",
+        "loc_index",
+        "sym_list",
+        "sym_index",
+        "mid_states",
+        "post_rows",
+        "rule_kind",
+        "rule_p2",
+        "rule_w0",
+        "rule_w1",
+        "rule_mid",
+        "internal_rows",
+        "push_rows",
+        "pop_rules",
+    )
+
+    def __init__(self, pds):
+        loc_index = self.loc_index = {}
+        loc_list = self.loc_list = []
+        sym_index = self.sym_index = {}
+        sym_list = self.sym_list = []
+
+        def loc_id(location):
+            lid = loc_index.get(location)
+            if lid is None:
+                lid = loc_index[location] = len(loc_list)
+                loc_list.append(location)
+            return lid
+
+        def sym_id(symbol):
+            sid = sym_index.get(symbol)
+            if sid is None:
+                sid = sym_index[symbol] = len(sym_list)
+                sym_list.append(symbol)
+            return sid
+
+        # Rules name every control location and stack symbol the PDS
+        # has (``add_rule`` is the only way either set grows).
+        encoded = []
+        for rule in pds.rules:
+            p = loc_id(rule.p)
+            gamma = sym_id(rule.gamma)
+            p2 = loc_id(rule.p2)
+            w = tuple(sym_id(symbol) for symbol in rule.w)
+            encoded.append((p, gamma, p2, w))
+        nlocs = self.nlocs = len(loc_list)
+        nsyms = self.nsyms = len(sym_list)
+        self.rule_count = len(encoded)
+
+        # Poststar mid states, precomputed per distinct push right-hand
+        # side head so the saturation allocates nothing: the object
+        # kernel's ``("__post__", p2, gamma1)`` keys, ids after the
+        # control locations.
+        mid_states = self.mid_states = []
+        mid_of = {}
+        for p, gamma, p2, w in encoded:
+            if len(w) == 2 and (p2, w[0]) not in mid_of:
+                mid_of[(p2, w[0])] = nlocs + len(mid_states)
+                mid_states.append(
+                    ("__post__", loc_list[p2], sym_list[w[0]])
+                )
+        self.nmids = len(mid_states)
+
+        # Poststar index: rules in CSR layout, sorted by packed
+        # left-hand side, with a row table mapping each occupied
+        # ``p * nsyms + gamma`` code to its [start, end) slice.
+        order = sorted(
+            range(len(encoded)),
+            key=lambda i: encoded[i][0] * nsyms + encoded[i][1],
+        )
+        kind = self.rule_kind = []
+        rp2 = self.rule_p2 = []
+        rw0 = self.rule_w0 = []
+        rw1 = self.rule_w1 = []
+        rmid = self.rule_mid = []
+        rows = self.post_rows = {}
+        for position, i in enumerate(order):
+            p, gamma, p2, w = encoded[i]
+            code = p * nsyms + gamma
+            start, _end = rows.get(code, (position, position))
+            rows[code] = (start, position + 1)
+            kind.append(len(w))
+            rp2.append(p2)
+            rw0.append(w[0] if w else -1)
+            rw1.append(w[1] if len(w) == 2 else -1)
+            rmid.append(mid_of[(p2, w[0])] if len(w) == 2 else -1)
+
+        # Prestar indexes: left-hand sides to fire, keyed by the packed
+        # right-hand-side (head) code.
+        internal_rows = self.internal_rows = {}
+        push_rows = self.push_rows = {}
+        pop_rules = self.pop_rules = []
+        for p, gamma, p2, w in encoded:
+            lhs = p * nsyms + gamma
+            if not w:
+                pop_rules.append((lhs, p2))
+            elif len(w) == 1:
+                internal_rows.setdefault(p2 * nsyms + w[0], []).append(lhs)
+            else:
+                push_rows.setdefault(p2 * nsyms + w[0], []).append((lhs, w[1]))
+
+
+_COMPILED = weakref.WeakKeyDictionary()
+
+
+def compiled_pds(pds, stats=None):
+    """The compiled form of ``pds``, built on first use and cached for
+    the PDS object's lifetime."""
+    comp = _COMPILED.get(pds)
+    if comp is None:
+        comp = CompiledPDS(pds)
+        _COMPILED[pds] = comp
+        KERNEL_TOTALS["rules_compiled"] += comp.rule_count
+        if stats is not None:
+            stats["kernel_rules_compiled"] = (
+                stats.get("kernel_rules_compiled", 0) + comp.rule_count
+            )
+    return comp
+
+
+def _call_tables(comp, automaton, with_mids):
+    """Per-call state/symbol tables: the compiled ids extended with the
+    query automaton's states and any symbols outside the PDS alphabet
+    (foreign symbols never match a rule — the packed lookups are gated
+    on ``sym < nsyms`` — but flow through the fixpoint like any
+    other)."""
+    state_index = dict(comp.loc_index)
+    state_list = list(comp.loc_list)
+    if with_mids:
+        for mid in comp.mid_states:
+            state_index[mid] = len(state_list)
+            state_list.append(mid)
+    sym_index = dict(comp.sym_index)
+    sym_list = list(comp.sym_list)
+    for state in automaton.states:
+        if state not in state_index:
+            state_index[state] = len(state_list)
+            state_list.append(state)
+    for _src, symbol, _dst in automaton.transitions():
+        if symbol not in sym_index:
+            sym_index[symbol] = len(sym_list)
+            sym_list.append(symbol)
+    return state_index, state_list, sym_index, sym_list
+
+
+def _decode(
+    state_list, sym_list, out_rows, eps_out, initials_bits, finals_bits, keep
+):
+    """Rebuild a :class:`FiniteAutomaton` from packed saturation rows,
+    restricted to the ``keep`` state bitset."""
+    triples = []
+    for sid in iter_bits(keep):
+        src = state_list[sid]
+        for sym, bits in out_rows[sid].items():
+            symbol = sym_list[sym]
+            for dst in iter_bits(bits & keep):
+                triples.append((src, symbol, state_list[dst]))
+        if eps_out is not None and eps_out[sid]:
+            for dst in iter_bits(eps_out[sid] & keep):
+                triples.append((src, EPSILON, state_list[dst]))
+    return assemble_automaton(
+        [state_list[sid] for sid in iter_bits(keep)],
+        [state_list[sid] for sid in iter_bits(initials_bits & keep)],
+        [state_list[sid] for sid in iter_bits(finals_bits & keep)],
+        triples,
+    )
+
+
+def _trim_mask(out_rows, initials_bits, finals_bits, present):
+    """Useful-part bitset over packed rows (the int form of
+    :meth:`FiniteAutomaton.trim`)."""
+    forward = 0
+    todo = initials_bits & present
+    while todo:
+        low = todo & -todo
+        todo ^= low
+        if forward & low:
+            continue
+        forward |= low
+        succ = 0
+        for bits in out_rows[low.bit_length() - 1].values():
+            succ |= bits
+        todo |= succ & present & ~forward
+    rin = {}
+    for sid in iter_bits(forward):
+        succ = 0
+        for bits in out_rows[sid].values():
+            succ |= bits
+        low = 1 << sid
+        for dst in iter_bits(succ & forward):
+            rin[dst] = rin.get(dst, 0) | low
+    backward = 0
+    todo = finals_bits & forward
+    while todo:
+        low = todo & -todo
+        todo ^= low
+        if backward & low:
+            continue
+        backward |= low
+        todo |= rin.get(low.bit_length() - 1, 0) & ~backward
+    return forward & backward
+
+
+def _count_pops(stats, pops):
+    KERNEL_TOTALS["worklist_pops"] += pops
+    if stats is not None:
+        stats["kernel_worklist_pops"] = (
+            stats.get("kernel_worklist_pops", 0) + pops
+        )
+
+
+def poststar_csr(pds, automaton, trim=False, stats=None):
+    """Int-kernel ``post*`` (Schwoon Alg. 3.4); same contract and
+    — decoded — the same result as :func:`repro.pds.poststar.poststar`.
+    """
+    comp = compiled_pds(pds, stats)
+    nlocs = comp.nlocs
+    nsyms = comp.nsyms
+    state_index, state_list, sym_index, sym_list = _call_tables(
+        comp, automaton, with_mids=True
+    )
+    nq = len(state_list)
+    ns = len(sym_list)
+    base = ns * nq
+
+    trans = deque()
+    for src, symbol, dst in automaton.transitions():
+        if symbol is EPSILON:
+            raise ValueError("poststar requires an epsilon-free query automaton")
+        trans.append(
+            (state_index[src] * ns + sym_index[symbol]) * nq + state_index[dst]
+        )
+
+    rel = set()
+    eps_rel = set()
+    by_source = {}  # src id -> list of tails (sym * nq + dst)
+    eps_into = {}  # dst id -> list of eps sources
+    post_rows = comp.post_rows
+    rule_kind = comp.rule_kind
+    rule_p2 = comp.rule_p2
+    rule_w0 = comp.rule_w0
+    rule_w1 = comp.rule_w1
+    rule_mid = comp.rule_mid
+    pops = 0
+
+    while trans:
+        pops += 1
+        code = trans.popleft()
+        if code >= 0:
+            if code in rel:
+                continue
+            rel.add(code)
+            q = code % nq
+            head = code // nq
+            p = head // ns
+            tail = code - p * base
+            bucket = by_source.get(p)
+            if bucket is None:
+                bucket = by_source[p] = []
+            bucket.append(tail)
+            # Epsilon transitions already pointing at ``p`` skip over
+            # it: (p1, ε, p) + (p, γ, q) => (p1, γ, q).
+            for p1 in eps_into.get(p, ()):
+                trans.append(p1 * base + tail)
+            if p < nlocs:
+                sym = head - p * ns
+                if sym < nsyms:
+                    row = post_rows.get(p * nsyms + sym)
+                    if row is not None:
+                        for r in range(row[0], row[1]):
+                            kind = rule_kind[r]
+                            p2 = rule_p2[r]
+                            if kind == 0:  # pop: (p2, ε, q)
+                                trans.append(-(p2 * nq + q) - 1)
+                            elif kind == 1:  # internal: (p2, w0, q)
+                                trans.append(p2 * base + rule_w0[r] * nq + q)
+                            else:  # push: via the mid state
+                                qmid = rule_mid[r]
+                                trans.append(p2 * base + rule_w0[r] * nq + qmid)
+                                trans.append(qmid * base + rule_w1[r] * nq + q)
+        else:
+            ecode = -code - 1
+            if ecode in eps_rel:
+                continue
+            eps_rel.add(ecode)
+            q = ecode % nq
+            p1 = ecode // nq
+            bucket = eps_into.get(q)
+            if bucket is None:
+                bucket = eps_into[q] = []
+            bucket.append(p1)
+            for tail in by_source.get(q, ()):
+                trans.append(p1 * base + tail)
+    _count_pops(stats, pops)
+
+    # Assemble the fixpoint rows.  The result's state set matches the
+    # object kernel's: every control location, every query state, and
+    # whatever the saturation touched (mid states only if their push
+    # rule fired).
+    out_rows = [{} for _ in range(nq)]
+    eps_out = [0] * nq
+    present = (1 << nlocs) - 1 if nlocs else 0
+    for state in automaton.states:
+        present |= 1 << state_index[state]
+    for code in rel:
+        q = code % nq
+        head = code // nq
+        p = head // ns
+        sym = head - p * ns
+        row = out_rows[p]
+        row[sym] = row.get(sym, 0) | (1 << q)
+        present |= (1 << p) | (1 << q)
+    for ecode in eps_rel:
+        q = ecode % nq
+        p = ecode // nq
+        eps_out[p] |= 1 << q
+        present |= (1 << p) | (1 << q)
+
+    # Epsilon elimination (the object kernel's closing
+    # ``remove_epsilon``): states unchanged, finals extended through
+    # closures, transitions unioned over closures.
+    finals_bits = 0
+    for state in automaton.finals:
+        finals_bits |= 1 << state_index[state]
+    initials_bits = (1 << nlocs) - 1 if nlocs else 0
+    for state in automaton.initials:
+        initials_bits |= 1 << state_index[state]
+    if eps_rel:
+        closed_rows = [None] * nq
+        closed_finals = finals_bits
+        for sid in iter_bits(present):
+            bit = 1 << sid
+            closure = bit
+            todo = eps_out[sid]
+            while todo:
+                low = todo & -todo
+                todo ^= low
+                if closure & low:
+                    continue
+                closure |= low
+                todo |= eps_out[low.bit_length() - 1] & ~closure
+            if closure & finals_bits:
+                closed_finals |= bit
+            if closure == bit:
+                closed_rows[sid] = out_rows[sid]
+                continue
+            row = dict(out_rows[sid])
+            for mid in iter_bits(closure ^ bit):
+                for sym, bits in out_rows[mid].items():
+                    row[sym] = row.get(sym, 0) | bits
+            closed_rows[sid] = row
+        out_rows = closed_rows
+        finals_bits = closed_finals
+
+    keep = present
+    if trim:
+        keep = _trim_mask(out_rows, initials_bits, finals_bits, present)
+    return _decode(
+        state_list, sym_list, out_rows, None, initials_bits, finals_bits, keep
+    )
+
+
+def prestar_csr(pds, automaton, trim=False, stats=None):
+    """Int-kernel ``pre*`` (Esparza et al. 2000); same contract and —
+    decoded — the same result as :func:`repro.pds.prestar.prestar`."""
+    comp = compiled_pds(pds, stats)
+    nlocs = comp.nlocs
+    nsyms = comp.nsyms
+    state_index, state_list, sym_index, sym_list = _call_tables(
+        comp, automaton, with_mids=False
+    )
+    nq = len(state_list)
+    ns = len(sym_list)
+
+    trans = deque()
+    for src, symbol, dst in automaton.transitions():
+        trans.append(
+            (state_index[src] * ns + sym_index[symbol]) * nq + state_index[dst]
+        )
+    for lhs, p2 in comp.pop_rules:
+        # <p,γ> ↪ <p',ε>: (p, γ, p') seeds the fixpoint.
+        p, gamma = divmod(lhs, nsyms)
+        trans.append((p * ns + gamma) * nq + p2)
+
+    rel = set()
+    by_head = {}  # packed (q * ns + γ) -> target bitset
+    pending = {}  # packed (q1 * ns + γ2) -> list of lhs heads to fire
+    internal_rows = comp.internal_rows
+    push_rows = comp.push_rows
+    pops = 0
+
+    while trans:
+        pops += 1
+        code = trans.popleft()
+        if code in rel:
+            continue
+        rel.add(code)
+        q1 = code % nq
+        head = code // nq
+        by_head[head] = by_head.get(head, 0) | (1 << q1)
+        q = head // ns
+        if q < nlocs:
+            sym = head - q * ns
+            if sym < nsyms:
+                rhs = q * nsyms + sym
+                # Internal rules <p,γp> ↪ <q,γ>: (p, γp, q1).
+                for lhs in internal_rows.get(rhs, ()):
+                    p, gamma = divmod(lhs, nsyms)
+                    trans.append((p * ns + gamma) * nq + q1)
+                # Push rules <p,γp> ↪ <q,γ γ2>: need q1 -γ2-> q2.
+                for lhs, gamma2 in push_rows.get(rhs, ()):
+                    p, gamma = divmod(lhs, nsyms)
+                    lhs_head = p * ns + gamma
+                    key = q1 * ns + gamma2
+                    pending.setdefault(key, []).append(lhs_head)
+                    for q2 in iter_bits(by_head.get(key, 0)):
+                        trans.append(lhs_head * nq + q2)
+        # This transition may complete earlier partial push matches.
+        for lhs_head in pending.get(head, ()):
+            trans.append(lhs_head * nq + q1)
+    _count_pops(stats, pops)
+
+    out_rows = [{} for _ in range(nq)]
+    for code in rel:
+        q1 = code % nq
+        head = code // nq
+        q = head // ns
+        sym = head - q * ns
+        row = out_rows[q]
+        row[sym] = row.get(sym, 0) | (1 << q1)
+    initials_bits = (1 << nlocs) - 1 if nlocs else 0
+    for state in automaton.initials:
+        initials_bits |= 1 << state_index[state]
+    finals_bits = 0
+    for state in automaton.finals:
+        finals_bits |= 1 << state_index[state]
+    present = (1 << nq) - 1 if nq else 0
+    keep = present
+    if trim:
+        keep = _trim_mask(out_rows, initials_bits, finals_bits, present)
+    return _decode(
+        state_list, sym_list, out_rows, None, initials_bits, finals_bits, keep
+    )

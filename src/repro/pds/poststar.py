@@ -21,11 +21,12 @@ automaton has had its epsilon transitions eliminated.
 
 from collections import deque
 
+from repro import kernelcfg
 from repro.fsa.automaton import EPSILON, FiniteAutomaton
 from repro.fsa.ops import remove_epsilon
 
 
-def poststar(pds, automaton, trim=False):
+def poststar(pds, automaton, trim=False, kernel=None, stats=None):
     """Saturate ``automaton`` with post* transitions; returns a new,
     epsilon-free :class:`FiniteAutomaton`.
 
@@ -39,7 +40,18 @@ def poststar(pds, automaton, trim=False):
     this form so a :class:`repro.engine.artifacts.SaturationArtifact`'s
     symbol footprint falls straight out of the saturation instead of
     being recomputed by every invalidation pass.
+
+    ``kernel`` selects the implementation (:mod:`repro.kernelcfg`;
+    default: the ``REPRO_KERNEL`` environment knob): ``"object"`` runs
+    the dict-of-sets loop below, ``"csr"`` the flat integer kernel of
+    :mod:`repro.pds.kernel` — both produce structurally identical
+    automata.  ``stats``, when given, accumulates the kernel counters
+    (``kernel_worklist_pops``, ``kernel_rules_compiled``).
     """
+    if kernelcfg.resolve_kernel(kernel) == kernelcfg.CSR:
+        from repro.pds.kernel import poststar_csr
+
+        return poststar_csr(pds, automaton, trim=trim, stats=stats)
     mid_state = {}
 
     def mid(p2, gamma1):
@@ -69,7 +81,9 @@ def poststar(pds, automaton, trim=False):
             trans.append((p1, gamma, q))
         return True
 
+    pops = 0
     while trans:
+        pops += 1
         p, gamma, q = trans.popleft()
         if gamma is not EPSILON:
             if not add_rel(p, gamma, q):
@@ -92,6 +106,11 @@ def poststar(pds, automaton, trim=False):
             for (gamma1, q2) in by_source.get(q, set()).copy():
                 trans.append((p, gamma1, q2))
 
+    if stats is not None:
+        stats["kernel_worklist_pops"] = (
+            stats.get("kernel_worklist_pops", 0) + pops
+        )
+
     result = FiniteAutomaton()
     for state in pds.control_locations:
         result.add_initial(state)
@@ -105,5 +124,5 @@ def poststar(pds, automaton, trim=False):
         result.add_transition(p, gamma, q)
     for (p, q) in eps_rel:
         result.add_transition(p, EPSILON, q)
-    result = remove_epsilon(result)
+    result = remove_epsilon(result, kernel=kernelcfg.OBJECT)
     return result.trim() if trim else result

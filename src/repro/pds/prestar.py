@@ -19,10 +19,11 @@ transition ``(p,γ,q2)`` is emitted.
 
 from collections import deque
 
+from repro import kernelcfg
 from repro.fsa.automaton import FiniteAutomaton
 
 
-def prestar(pds, automaton, trim=False):
+def prestar(pds, automaton, trim=False, kernel=None, stats=None):
     """Saturate ``automaton`` with pre* transitions; returns a new
     :class:`FiniteAutomaton` (the input is not modified).
 
@@ -35,7 +36,18 @@ def prestar(pds, automaton, trim=False):
     form :class:`repro.engine.artifacts.SaturationArtifact` carries, so
     the symbol footprint is emitted by the saturation itself rather
     than recomputed post-hoc at invalidation time.
+
+    ``kernel`` selects the implementation (:mod:`repro.kernelcfg`;
+    default: the ``REPRO_KERNEL`` environment knob): ``"object"`` runs
+    the dict-of-sets loop below, ``"csr"`` the flat integer kernel of
+    :mod:`repro.pds.kernel` — both produce structurally identical
+    automata.  ``stats``, when given, accumulates the kernel counters
+    (``kernel_worklist_pops``, ``kernel_rules_compiled``).
     """
+    if kernelcfg.resolve_kernel(kernel) == kernelcfg.CSR:
+        from repro.pds.kernel import prestar_csr
+
+        return prestar_csr(pds, automaton, trim=trim, stats=stats)
     rel = set()
     by_source_symbol = {}  # (q, γ) -> set of q2 with (q, γ, q2) ∈ rel
     pending = {}  # (q, γ) -> list of (p, γp) waiting for (q, γ, ·)
@@ -47,7 +59,9 @@ def prestar(pds, automaton, trim=False):
         # <p,γ> ↪ <p',ε>:  p' -ε->* p'  =>  (p, γ, p')
         trans.append((rule.p, rule.gamma, rule.p2))
 
+    pops = 0
     while trans:
+        pops += 1
         q, gamma, q1 = trans.popleft()
         if (q, gamma, q1) in rel:
             continue
@@ -68,6 +82,11 @@ def prestar(pds, automaton, trim=False):
         # This transition may complete earlier partial push matches.
         for (p, gamma_p) in pending.get((q, gamma), ()):
             trans.append((p, gamma_p, q1))
+
+    if stats is not None:
+        stats["kernel_worklist_pops"] = (
+            stats.get("kernel_worklist_pops", 0) + pops
+        )
 
     result = FiniteAutomaton()
     for state in pds.control_locations:

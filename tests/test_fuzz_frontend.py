@@ -1,5 +1,12 @@
 """Front-end robustness fuzzing: arbitrary input must produce a clean
-TinyC diagnostic or a successful parse — never an internal error."""
+TinyC diagnostic or a successful parse — never an internal error.
+
+A second lane fuzzes the back end's kernel equivalence: on generated
+(well-typed) programs, the ``csr`` and ``object`` saturation kernels
+must produce payload-identical Prestar/Poststar automata for randomized
+criteria — the same contract :mod:`tests.test_kernel_differential` pins
+on the fixed corpus, here driven by hypothesis over generator seeds and
+criterion choices."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -63,3 +70,39 @@ def test_successful_parses_roundtrip(source):
     reparsed = parse(text)
     check(reparsed)
     assert pretty(reparsed) == text
+
+
+# -- kernel-equivalence fuzzing ----------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_procs=st.integers(min_value=2, max_value=4),
+    criterion_salt=st.integers(min_value=0, max_value=1_000_000),
+)
+def test_fuzz_saturation_kernels_agree(seed, n_procs, criterion_salt):
+    """csr and object saturations agree payload-for-payload on generated
+    programs with randomized vertex criteria (both contexts modes)."""
+    import random
+
+    from repro.core.criteria import empty_stack_criterion
+    from repro.engine import SlicingSession
+    from repro.fsa.serialize import automaton_to_payload
+    from repro.pds import poststar, prestar
+    from repro.workloads.generator import GenConfig, generate_program
+
+    program, _info = generate_program(GenConfig(seed=seed, n_procs=n_procs))
+    session = SlicingSession(pretty(program))
+    encoding = session.encoding
+    rng = random.Random(criterion_salt)
+    vids = sorted(rng.sample(sorted(session.sdg.vertices), rng.randint(1, 3)))
+    query = empty_stack_criterion(encoding, vids)
+    for saturation in (prestar, poststar):
+        for trim in (False, True):
+            obj = saturation(encoding.pds, query, trim=trim, kernel="object")
+            csr = saturation(encoding.pds, query, trim=trim, kernel="csr")
+            assert automaton_to_payload(obj) == automaton_to_payload(csr), (
+                saturation.__name__,
+                trim,
+            )

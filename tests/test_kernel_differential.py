@@ -1,0 +1,181 @@
+"""Kernel-equivalence differential testing: ``csr`` vs ``object``.
+
+The CSR kernel's contract is *byte identity*: every query answered by a
+``kernel="csr"`` session must be indistinguishable — rendered program
+text, closure elements, version counts, serialized automata, saturation
+artifacts and their ``__sats__`` digests — from the same query under the
+default object kernel.  This suite pins that contract on the same two
+corpora the incremental layer is pinned by:
+
+* the 26-program differential corpus
+  (:mod:`tests.test_differential_baselines`'s generator settings):
+  slices over several criteria, a feature removal, and the memoized
+  saturation artifacts, each compared field by field across kernels;
+* the mutation corpus (:mod:`tests.test_incremental_differential`'s
+  generated single-procedure edits): a ``csr`` session driven through
+  ``update_source`` must keep serving results byte-identical to an
+  *object* session driven through the same edit — the incremental
+  layer's invalidation logic is kernel-blind and must stay that way.
+
+A meta-test pins the corpus sizes so neither lane can silently shrink.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import SlicingSession
+from repro.engine.canonical import stable_key_digest
+from repro.fsa.serialize import automaton_to_payload
+from repro.lang import parse, pretty
+from repro.workloads.generator import GenConfig, generate_program
+
+from tests.test_incremental_differential import MUTATORS
+
+N_PROGRAMS = 26
+MAX_CRITERIA = 4
+MUTATION_SEEDS = range(10)
+
+
+def _source(seed):
+    program, _info = generate_program(GenConfig(seed=seed, n_procs=3))
+    return pretty(program)
+
+
+def _criteria(session):
+    prints = len(session.sdg.print_call_vertices())
+    criteria = [("print", index) for index in range(min(prints, MAX_CRITERIA))]
+    criteria.append("prints")
+    return criteria
+
+
+def _sat_digests(session):
+    """Every memoized saturation artifact, as the store would file it:
+    ``stable_key_digest(key) -> (kind, payload, footprint)``."""
+    digests = {}
+    with session._lock:
+        futures = dict(session._futures)
+    for (cache_kind, key), future in futures.items():
+        if cache_kind != "saturation" or not future.done():
+            continue
+        artifact = future.result()
+        digests[stable_key_digest(key)] = (
+            artifact.kind,
+            automaton_to_payload(artifact.automaton),
+            artifact.footprint,
+        )
+    return digests
+
+
+def _assert_sessions_identical(obj_session, csr_session, criteria, context=()):
+    for criterion in criteria:
+        obj_result = obj_session.slice(criterion)
+        csr_result = csr_session.slice(criterion)
+        tag = context + (criterion,)
+        assert automaton_to_payload(obj_result.a1) == automaton_to_payload(
+            csr_result.a1
+        ), tag
+        assert automaton_to_payload(obj_result.a6) == automaton_to_payload(
+            csr_result.a6
+        ), tag
+        assert obj_result.closure_elems() == csr_result.closure_elems(), tag
+        assert obj_result.version_counts() == csr_result.version_counts(), tag
+        assert obj_result.footprint == csr_result.footprint, tag
+        assert pretty(obj_session.executable(criterion).program) == pretty(
+            csr_session.executable(criterion).program
+        ), tag
+    assert _sat_digests(obj_session) == _sat_digests(csr_session), context
+
+
+def test_corpus_is_large_enough():
+    assert N_PROGRAMS >= 26
+    corpus = _mutation_corpus()
+    assert len(corpus) >= 50
+
+
+@pytest.mark.parametrize("seed", range(N_PROGRAMS))
+def test_kernels_byte_identical_on_differential_corpus(seed):
+    source = _source(seed)
+    obj_session = SlicingSession(source, kernel="object")
+    csr_session = SlicingSession(source, kernel="csr")
+    assert obj_session.kernel == "object" and csr_session.kernel == "csr"
+
+    _assert_sessions_identical(
+        obj_session, csr_session, _criteria(obj_session), context=("seed%d" % seed,)
+    )
+
+    # The csr session really ran on the int kernel.
+    stats = csr_session.stats
+    assert stats["kernel_rules_compiled"] > 0
+    assert stats["kernel_worklist_pops"] > 0
+    assert obj_session.stats["kernel_rules_compiled"] == 0
+
+
+@pytest.mark.parametrize("seed", range(0, N_PROGRAMS, 5))
+def test_feature_removal_byte_identical(seed):
+    """Algorithm 2 (forward-cone Poststar + residual) across kernels,
+    on a sample of the corpus."""
+    source = _source(seed)
+    obj_session = SlicingSession(source, kernel="object")
+    csr_session = SlicingSession(source, kernel="csr")
+    obj_removed = obj_session.remove_feature("print")
+    csr_removed = csr_session.remove_feature("print")
+    assert automaton_to_payload(obj_removed.a1) == automaton_to_payload(
+        csr_removed.a1
+    )
+    assert obj_removed.footprint == csr_removed.footprint
+    _raw, obj_clean = obj_session.remove_feature_cleaned("print")
+    _raw, csr_clean = csr_session.remove_feature_cleaned("print")
+    assert pretty(obj_clean.program) == pretty(csr_clean.program)
+    assert _sat_digests(obj_session) == _sat_digests(csr_session)
+
+
+# -- the mutation lane -------------------------------------------------------------
+
+
+def _mutation_corpus():
+    corpus = []
+    for seed in MUTATION_SEEDS:
+        base = _source(seed)
+        for mutator in MUTATORS:
+            rng = random.Random(1000 * seed + MUTATORS.index(mutator))
+            edited = mutator(parse(base), rng)
+            if edited is None or edited == base:
+                continue
+            corpus.append(("seed%d-%s" % (seed, mutator.__name__[7:]), base, edited))
+    return corpus
+
+
+MUTATION_CORPUS = _mutation_corpus()
+
+
+@pytest.mark.parametrize(
+    "label,base,edited",
+    MUTATION_CORPUS,
+    ids=[entry[0] for entry in MUTATION_CORPUS],
+)
+def test_incremental_updates_byte_identical_across_kernels(label, base, edited):
+    obj_session = SlicingSession(base, kernel="object")
+    csr_session = SlicingSession(base, kernel="csr")
+    warm = _criteria(obj_session)
+    for session in (obj_session, csr_session):
+        session.slice_many(warm[:-1])
+
+    obj_summary = obj_session.update_source(edited)
+    csr_summary = csr_session.update_source(edited)
+    # Invalidation decisions are a pure function of footprints, which
+    # are kernel-independent — so the summaries must agree exactly.
+    for field in (
+        "procs_reused",
+        "procs_rebuilt",
+        "saturations_kept",
+        "saturations_dropped",
+        "results_kept",
+        "results_dropped",
+        "fast_path",
+    ):
+        assert obj_summary.get(field) == csr_summary.get(field), (label, field)
+
+    _assert_sessions_identical(
+        obj_session, csr_session, _criteria(obj_session), context=(label,)
+    )

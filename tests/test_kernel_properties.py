@@ -1,0 +1,276 @@
+"""Property tests for the CSR saturation kernel's int codec and ops.
+
+The ``csr`` kernel (:mod:`repro.fsa.intcodec`, :mod:`repro.fsa.intops`,
+:mod:`repro.pds.kernel`) promises *structural identity* with the object
+implementations — not just language equality — because byte-identical
+slices, store entries, and ``__sats__`` digests downstream all hang off
+the exact state objects and transition sets.  These tests pin the three
+layers of that promise:
+
+* the codec: encode -> decode is the identity (as
+  :func:`repro.fsa.serialize.structurally_equal` sees it), and the
+  bitset primitives agree with Python set semantics;
+* the FSA ops: each ``*_int`` twin is structurally equal to the object
+  implementation, on epsilon-free and epsilon-heavy inputs, mixed
+  int/string alphabets included;
+* the saturations: ``poststar_csr``/``prestar_csr`` match the object
+  worklists payload-for-payload, and their output is independent of the
+  order rules were inserted into the :class:`PushdownSystem` (the
+  fixpoint is canonical; the worklist order must not leak).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsa import FiniteAutomaton, determinize, remove_epsilon
+from repro.fsa.automaton import EPSILON
+from repro.fsa.intcodec import bits_of, decode_automaton, encode_automaton, iter_bits
+from repro.fsa.intops import (
+    determinize_int,
+    minimize_int,
+    mrd_int,
+    remove_epsilon_int,
+    trim_int,
+)
+from repro.fsa.minimize import minimize
+from repro.fsa.ops import mrd
+from repro.fsa.serialize import automaton_to_payload, canonical_dfa, structurally_equal
+from repro.pds import PushdownSystem, poststar, prestar
+from repro.pds.kernel import poststar_csr, prestar_csr
+
+# -- generators --------------------------------------------------------------------
+
+
+def random_automaton(seed, n_states=8, n_symbols=4, density=0.3, eps=0.0):
+    """A random NFA over a mixed int/string alphabet (the SDG automata
+    mix vertex-id ints with call-site label strings, so symbol ordering
+    by ``repr`` is load-bearing)."""
+    rng = random.Random(seed)
+    states = ["s%d" % i for i in range(n_states)]
+    symbols = [i for i in range(n_symbols // 2)] + [
+        "g%d" % i for i in range(n_symbols - n_symbols // 2)
+    ]
+    automaton = FiniteAutomaton(
+        initials=rng.sample(states, rng.randint(1, 2)),
+        finals=rng.sample(states, rng.randint(1, 3)),
+    )
+    for state in states:
+        automaton.add_state(state)
+    for src in states:
+        for symbol in symbols:
+            for dst in states:
+                if rng.random() < density / n_states * 4:
+                    automaton.add_transition(src, symbol, dst)
+        if eps and rng.random() < eps:
+            automaton.add_transition(src, EPSILON, rng.choice(states))
+    return automaton
+
+
+def random_pds(seed, n_locs=3, n_syms=5, n_rules=14):
+    """A random PDS plus a random query automaton rooted at its control
+    locations, with one foreign symbol the PDS has never heard of (query
+    automata routinely carry criterion symbols outside the rule
+    alphabet)."""
+    rng = random.Random(seed)
+    locs = ["p%d" % i for i in range(n_locs)]
+    syms = list(range(n_syms))
+    rules = []
+    for _ in range(n_rules):
+        w_len = rng.choice((0, 1, 1, 2))
+        rules.append(
+            (
+                rng.choice(locs),
+                rng.choice(syms),
+                rng.choice(locs),
+                tuple(rng.choice(syms) for _ in range(w_len)),
+            )
+        )
+    pds = build_pds(rules)
+    query = FiniteAutomaton(initials=[locs[0]], finals=["f"])
+    query.add_transition(locs[0], rng.choice(syms), "f")
+    query.add_transition(locs[0], "foreign", "f")
+    query.add_transition("f", rng.choice(syms), "f")
+    return pds, query, rules
+
+
+def build_pds(rules):
+    pds = PushdownSystem()
+    for p, gamma, p2, w in rules:
+        pds.add_rule(p, gamma, p2, w)
+    return pds
+
+
+# -- the int codec -----------------------------------------------------------------
+
+
+@pytest.mark.smoke
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=200)), st.lists(st.integers(min_value=0, max_value=200)))
+def test_bitsets_match_set_semantics(left, right):
+    lbits, rbits = bits_of(left), bits_of(right)
+    lset, rset = set(left), set(right)
+    assert set(iter_bits(lbits)) == lset
+    assert set(iter_bits(lbits | rbits)) == lset | rset
+    assert set(iter_bits(lbits & rbits)) == lset & rset
+    assert set(iter_bits(lbits & ~rbits)) == lset - rset
+    assert (lbits & rbits == lbits) == (lset <= rset)
+    assert sorted(iter_bits(lbits)) == sorted(lset)
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("seed", range(12))
+def test_encode_decode_roundtrip(seed):
+    automaton = random_automaton(seed, eps=0.4 if seed % 3 == 0 else 0.0)
+    decoded = decode_automaton(encode_automaton(automaton))
+    assert structurally_equal(automaton, decoded)
+    assert automaton_to_payload(automaton) == automaton_to_payload(decoded)
+
+
+@pytest.mark.smoke
+def test_encode_decode_empty_and_degenerate():
+    empty = FiniteAutomaton()
+    assert structurally_equal(empty, decode_automaton(encode_automaton(empty)))
+    lonely = FiniteAutomaton(initials=["a"], finals=["a"])
+    assert structurally_equal(lonely, decode_automaton(encode_automaton(lonely)))
+
+
+# -- int FSA ops vs the object twins -----------------------------------------------
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("seed", range(12))
+def test_int_ops_match_object_ops(seed):
+    automaton = random_automaton(seed)
+    assert structurally_equal(trim_int(automaton), automaton.trim())
+    assert structurally_equal(
+        remove_epsilon_int(automaton), remove_epsilon(automaton, kernel="object")
+    )
+    det_object = determinize(automaton, kernel="object")
+    assert structurally_equal(determinize_int(automaton), det_object)
+    assert structurally_equal(minimize_int(det_object), minimize(det_object, kernel="object"))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_int_ops_match_object_ops_with_epsilon(seed):
+    automaton = random_automaton(seed, eps=0.6)
+    assert structurally_equal(
+        remove_epsilon_int(automaton), remove_epsilon(automaton, kernel="object")
+    )
+    # determinize_int applies epsilon-closure semantics directly.
+    assert structurally_equal(
+        determinize_int(automaton), determinize(automaton, kernel="object")
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fused_mrd_matches_object_chain(seed):
+    view = random_automaton(seed)  # epsilon-free: the saturation-view shape
+    fused = mrd_int(view)
+    assert fused is not None
+    a6, _a3_states, _a4_states = fused
+    assert structurally_equal(a6, mrd(view))
+
+
+def test_fused_mrd_declines_epsilon_views():
+    view = random_automaton(0, eps=0.8)
+    if not view.has_epsilon():
+        view.add_transition("s0", EPSILON, "s1")
+    assert mrd_int(view) is None
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_canonical_dfa_identical_under_both_kernels(seed, monkeypatch):
+    automaton = random_automaton(seed, eps=0.3)
+    payloads = {}
+    for kernel in ("object", "csr"):
+        monkeypatch.setenv("REPRO_KERNEL", kernel)
+        payloads[kernel] = automaton_to_payload(canonical_dfa(automaton))
+    assert payloads["object"] == payloads["csr"]
+
+
+# -- the saturations ---------------------------------------------------------------
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("seed", range(10))
+def test_saturations_match_object_worklists(seed):
+    pds, query, _rules = random_pds(seed)
+    for trim in (False, True):
+        stats = {}
+        csr_post = poststar_csr(pds, query, trim=trim, stats=stats)
+        obj_post = poststar(pds, query, trim=trim, kernel="object")
+        assert automaton_to_payload(csr_post) == automaton_to_payload(obj_post)
+        assert stats["kernel_worklist_pops"] > 0
+        csr_pre = prestar_csr(pds, query, trim=trim)
+        obj_pre = prestar(pds, query, trim=trim, kernel="object")
+        assert automaton_to_payload(csr_pre) == automaton_to_payload(obj_pre)
+
+
+@pytest.mark.smoke
+def test_saturations_handcrafted_push_pop_chain():
+    # <p,a> -> <p,b c>; <p,b> -> <q,ε>; <q,c> -> <q,ε>: poststar from
+    # (p, a) must accept (q, ε) through the epsilon-skip machinery.
+    pds = build_pds(
+        [("p", "a", "p", ("b", "c")), ("p", "b", "q", ()), ("q", "c", "q", ())]
+    )
+    query = FiniteAutomaton(initials=["p", "q"], finals=["f"])
+    query.add_transition("p", "a", "f")
+    post_csr = poststar_csr(pds, query)
+    post_obj = poststar(pds, query, kernel="object")
+    assert automaton_to_payload(post_csr) == automaton_to_payload(post_obj)
+    assert post_csr.accepts_from("q", ())
+    # Prestar of (q, ε)-accepting query reaches back to (p, a).
+    back_query = FiniteAutomaton(initials=["p", "q"], finals=["q"])
+    pre_csr = prestar_csr(pds, back_query)
+    pre_obj = prestar(pds, back_query, kernel="object")
+    assert automaton_to_payload(pre_csr) == automaton_to_payload(pre_obj)
+    assert pre_csr.accepts_from("p", ("a",))
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_saturation_independent_of_rule_insertion_order(seed):
+    pds, query, rules = random_pds(seed)
+    baseline_post = automaton_to_payload(poststar_csr(pds, query))
+    baseline_pre = automaton_to_payload(prestar_csr(pds, query))
+    rng = random.Random(seed + 1000)
+    for _ in range(3):
+        shuffled = list(rules)
+        rng.shuffle(shuffled)
+        reordered = build_pds(shuffled)
+        assert automaton_to_payload(poststar_csr(reordered, query)) == baseline_post
+        assert automaton_to_payload(prestar_csr(reordered, query)) == baseline_pre
+        # The object worklists make the same promise; hold them to it.
+        assert (
+            automaton_to_payload(poststar(reordered, query, kernel="object"))
+            == baseline_post
+        )
+        assert (
+            automaton_to_payload(prestar(reordered, query, kernel="object"))
+            == baseline_pre
+        )
+
+
+@pytest.mark.smoke
+def test_poststar_csr_rejects_epsilon_queries():
+    pds = build_pds([("p", "a", "p", ("a",))])
+    query = FiniteAutomaton(initials=["p"], finals=["f"])
+    query.add_transition("p", EPSILON, "f")
+    with pytest.raises(ValueError):
+        poststar_csr(pds, query)
+
+
+@pytest.mark.smoke
+def test_compiled_pds_cached_per_system():
+    from repro.pds.kernel import compiled_pds
+
+    pds = build_pds([("p", "a", "q", ()), ("q", "b", "p", ("a", "b"))])
+    stats = {}
+    first = compiled_pds(pds, stats=stats)
+    assert stats["kernel_rules_compiled"] == 2
+    again = compiled_pds(pds, stats=stats)
+    assert again is first
+    # A cache hit compiles nothing.
+    assert stats["kernel_rules_compiled"] == 2
