@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench-smoke bench-full lint
+.PHONY: test smoke test-economics bench-smoke bench-full lint
 
 # The tier-1 gate: the full test + benchmark suite.
 test:
@@ -13,6 +13,12 @@ test:
 # The fast subset (seconds, not minutes) for edit-run loops.
 smoke:
 	$(PYTHON) -m pytest -m smoke -q
+
+# The store suites under a deliberately tiny size cap (1 MB): every
+# session run in these tests fights the evictor, exercising the
+# cost-tier ordering and the degraded paths CI's economics lane pins.
+test-economics:
+	REPRO_CACHE_MAX_BYTES=1000000 $(PYTHON) -m pytest tests/test_store.py tests/test_cache_economics.py -q
 
 # Quick benchmark pass: QUICK_SUITE with capped slice counts.
 bench-smoke:

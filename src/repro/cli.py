@@ -198,7 +198,7 @@ def cmd_slice_batch(args):
     if session.store is not None:
         lines.append(
             "store: %s (front half %s, %d/%d procedure parts; "
-            "persist hits/misses %d/%d; saturations %d/%d)"
+            "persist hits/misses %d/%d; saturations %d/%d; adopted %d)"
             % (
                 session.store.cache_dir,
                 "warm" if stats["front_half_from_store"] else "cold",
@@ -208,6 +208,7 @@ def cmd_slice_batch(args):
                 stats["persist_misses"],
                 stats["sat_persist_hits"],
                 stats["sat_persist_misses"],
+                stats["sats_adopted"],
             )
         )
     return "\n".join(lines)
@@ -219,6 +220,7 @@ _TABLE_LABELS = {
     "fronthalf": "front-half",
     "proc": "__procs__",
     "sat": "__sats__",
+    "idx": "__sats__ idx",
 }
 
 
@@ -250,6 +252,20 @@ def cmd_cache(args):
             "total bytes:  %d" % stats["total_bytes"],
             "size cap:     %d" % stats["max_bytes"],
             "kernel:       %s" % stats["kernel"]["name"],
+            "lifetime:     %d evictions, %d compactions, %d index records pruned"
+            % (
+                stats["lifetime"]["evictions"],
+                stats["lifetime"]["compactions"],
+                stats["lifetime"]["gc_index_pruned"],
+            ),
+            "this process: %d write errors, %d config errors, "
+            "%d index hits / %d misses"
+            % (
+                stats["write_errors"],
+                stats["config_errors"],
+                stats["index_hits"],
+                stats["index_misses"],
+            ),
         ]
         for table in sorted(stats["tables"]):
             lines.append(

@@ -15,7 +15,10 @@
 * :mod:`repro.engine.incremental` — per-procedure content keys and the
   :meth:`SlicingSession.update_source` machinery: after a source edit,
   only changed procedures are rebuilt and memo entries are invalidated
-  as a pure function of artifact footprints.
+  as a pure function of artifact footprints; plus
+  :func:`discover_artifacts`, the cold-process counterpart that adopts
+  saturations filed under *other* revisions via the store's per-revision
+  footprint indexes.
 * :mod:`repro.engine.parallel` — :func:`slice_many_programs`, the
   multi-program batch driver (one worker per program).
 
@@ -33,7 +36,7 @@ from repro.engine.canonical import (
     saturation_key,
     stable_key_digest,
 )
-from repro.engine.incremental import procedure_keys
+from repro.engine.incremental import discover_artifacts, procedure_keys
 from repro.engine.parallel import slice_many_programs
 from repro.engine.session import SlicingSession
 
@@ -45,6 +48,7 @@ __all__ = [
     "artifact_footprint",
     "automaton_key",
     "canonical_key",
+    "discover_artifacts",
     "is_stable_key",
     "procedure_keys",
     "resolve_criterion_spec",

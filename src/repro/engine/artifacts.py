@@ -7,7 +7,11 @@ inside one session's memo; the store could not persist it, process-pool
 workers re-saturated it, and the incremental layer re-derived its
 procedure ownership by trimming at every update.  A
 :class:`SaturationArtifact` packages the saturation once, in the form
-all four consumers need:
+all five consumers — memo, store, pool workers, ``update_source``
+survival, and cross-revision discovery
+(:func:`repro.engine.incremental.discover_artifacts`, which replays
+the survival decision from the store's per-revision saturation
+indexes with no live donor session) — need:
 
 * ``automaton`` — the *trimmed* saturation automaton (the useful part
   only; trimming preserves the configuration language read from every

@@ -69,7 +69,7 @@ from concurrent.futures import Future
 
 from repro.analysis.callgraph import build_call_graph
 from repro.analysis.modref import compute_modref
-from repro.engine.artifacts import translate_footprint
+from repro.engine.artifacts import SaturationArtifact, translate_footprint
 from repro.engine.canonical import (
     AUTOMATON,
     CONFIGS,
@@ -282,6 +282,266 @@ def _needs_poststar(key):
     return key[0] == VERTICES and len(key) == 3 and key[2] == "reachable"
 
 
+# -- cross-revision discovery ------------------------------------------------------
+#
+# update_session can only re-file surviving artifacts because it holds
+# the *old* front half in memory.  A cold process opening edited text
+# has no old session — what it has is the store's per-revision
+# saturation indexes: each one records, for every artifact filed under
+# a revision, the memo key, the saturation kind, and the ownership
+# footprint, plus the revision's symbol *layout* (content key -> vertex
+# ids and call-site labels in build order).  Discovery replays the
+# exact survival check update_session performs, from the index alone:
+#
+#   footprint ⊆ new revision's content-key set
+#     ⟺  footprint ∩ (candidate's keys \ new keys) = ∅
+#     ⟺  footprint disjoint from every procedure the "edit" between the
+#         two revisions changed or removed
+#
+# and the renumbering maps come from zipping the two layouts
+# positionally (content-key equality makes the procedure ASTs
+# token-identical, so the PDG builders emit their vertices and call
+# sites in the same order on both sides).  Reachable-contexts Prestar
+# entries are additionally gated on the candidate revision's Poststar
+# *record* passing the same subset test — proving the baked-in
+# reachable language unchanged without loading the Poststar's file.
+
+
+def _shape_digest(sdg, name):
+    """A process-stable digest of a procedure's
+    :meth:`~repro.sdg.parts.ProcPart.shape_key` (the frozenset of
+    positional edges is sorted first — its iteration order is not
+    deterministic across interpreter runs, but its *contents* are)."""
+    vertices, edges, entry, formal_ins, formal_outs, sites = extract_part(
+        sdg, name
+    ).shape_key()
+    stable = (vertices, tuple(sorted(edges)), entry, formal_ins, formal_outs, sites)
+    return hashlib.sha256(repr(stable).encode("utf-8")).hexdigest()
+
+
+def session_layout(session):
+    """The session's symbol layout, the coordinate system artifacts are
+    renumbered through across revisions: one ``(name, content key,
+    shape digest, vertex ids, call-site labels)`` entry per procedure,
+    in program order, with the ids and labels in PDG build order.
+    Cached per revision on the session (layouts are consulted on every
+    artifact filing)."""
+    cached = getattr(session, "_sat_layout", None)
+    if cached is not None and cached[0] == session.source_hash:
+        return cached[1]
+    keys = session_procedure_keys(session)
+    sdg = session.sdg
+    layout = tuple(
+        (
+            proc.name,
+            keys[proc.name],
+            _shape_digest(sdg, proc.name),
+            tuple(sdg.proc_vertices.get(proc.name, ())),
+            tuple(sdg.sites_in_proc.get(proc.name, ())),
+        )
+        for proc in session.program.procs
+    )
+    session._sat_layout = (session.source_hash, layout)
+    return layout
+
+
+def _layouts_fast_equivalent(old_layout, new_layout):
+    """:func:`update_session`'s fast path, replayed from two layouts
+    alone: same procedure sequence, every procedure either
+    content-identical or shape-identical, and identical numbering
+    throughout — which together prove the two revisions' PDS are *the
+    same system*, so every saturation transfers verbatim.  Returns the
+    content-key translation (old -> new for the label-edited
+    procedures), or None when the revisions are not fast-equivalent."""
+    if len(old_layout) != len(new_layout):
+        return None
+    key_translation = {}
+    for old_entry, new_entry in zip(old_layout, new_layout):
+        try:
+            old_name, old_key, old_shape, old_vids, old_sites = old_entry
+            new_name, new_key, new_shape, new_vids, new_sites = new_entry
+        except (TypeError, ValueError):
+            return None
+        if old_name != new_name or old_vids != new_vids or old_sites != new_sites:
+            return None
+        if old_key != new_key:
+            if old_shape != new_shape:
+                return None
+            key_translation[old_key] = new_key
+    return key_translation
+
+
+def _layout_maps(old_layout, new_layout):
+    """The ``(vid_map, site_map)`` renumbering between two revisions'
+    layouts, covering every procedure whose content key appears in
+    both.  None when the layouts disagree about a shared procedure's
+    shape — impossible for honestly computed layouts (content-key
+    equality fixes the vertex and site counts), so the whole candidate
+    revision is distrusted rather than partially mapped."""
+    new_by_key = {}
+    for entry in new_layout:
+        try:
+            _name, content_key, _shape, vids, sites = entry
+        except (TypeError, ValueError):
+            return None
+        new_by_key[content_key] = (vids, sites)
+    vid_map, site_map = {}, {}
+    for entry in old_layout:
+        try:
+            _name, content_key, _shape, old_vids, old_sites = entry
+        except (TypeError, ValueError):
+            return None
+        new_entry = new_by_key.get(content_key)
+        if new_entry is None:
+            continue
+        new_vids, new_sites = new_entry
+        if len(old_vids) != len(new_vids) or len(old_sites) != len(new_sites):
+            return None
+        vid_map.update(zip(old_vids, new_vids))
+        site_map.update(zip(old_sites, new_sites))
+    return vid_map, site_map
+
+
+def _poststar_record_intact(records, poststar_digest, new_key_set):
+    """Whether a candidate revision's shared-Poststar *record* proves
+    the reachable-configuration language unchanged under the new
+    revision: the record exists and its footprint passes the subset
+    test.  No artifact file is read."""
+    record = records.get(poststar_digest)
+    try:
+        key, _kind, footprint = record
+    except (TypeError, ValueError):
+        return False
+    return (
+        key == REACHABLE_KEY
+        and bool(footprint)
+        and frozenset(footprint) <= new_key_set
+    )
+
+
+def discover_artifacts(session):
+    """Adopt saturation artifacts filed under *other* revisions of this
+    session's program, with no live donor session.
+
+    Runs at session creation when a store is attached.  Skips instantly
+    when this revision's own index already records a shared Poststar
+    (the warm-reopen hot path: everything expensive is directly
+    addressable).  Otherwise scans the store's saturation indexes,
+    newest revision first, and for every record whose footprint is a
+    subset of this revision's content keys: renumbers the memo key and
+    the automaton through the two layouts, installs the survivor in the
+    session memo, and re-files it (artifact + index record) under this
+    revision's hash — so the adoption is paid once per edit, not once
+    per process.  Adoptions count as ``index_hits`` on the store (and
+    ``sats_adopted`` on the session); records whose artifact file was
+    evicted or corrupted count as ``index_misses``.
+
+    Returns the number of artifacts adopted.
+    """
+    store = session.store
+    new_hash = session.source_hash
+    poststar_digest = stable_key_digest(REACHABLE_KEY)
+    own = store.get_sat_index(new_hash)
+    if own is not None and poststar_digest in (own.get("artifacts") or {}):
+        return 0
+    t0 = time.perf_counter()
+    new_keys = session_procedure_keys(session)
+    new_key_set = frozenset(new_keys.values())
+    new_layout = session_layout(session)
+    adopted_records = {}
+    adopted = 0
+    for src_hash, index in store.sat_indexes():
+        if src_hash == new_hash:
+            continue
+        records = index.get("artifacts") or {}
+        if not records:
+            continue
+        old_layout = index.get("layout") or ()
+        # Fast equivalence (a label-only edit between the revisions:
+        # same shapes, same numbering => same PDS): every record
+        # transfers verbatim, footprints re-addressed.  Otherwise fall
+        # back to per-record footprint-subset survival — the same check
+        # update_session's slow path runs, replayed from the index.
+        translation = _layouts_fast_equivalent(old_layout, new_layout)
+        maps = None  # built lazily, once per candidate revision
+        poststar_ok = None
+        for key_digest in sorted(records):
+            try:
+                key, _kind, footprint = records[key_digest]
+            except (TypeError, ValueError):
+                continue
+            if translation is None:
+                footprint = frozenset(footprint or ())
+                if not footprint or not footprint <= new_key_set:
+                    continue
+                if maps is None:
+                    maps = _layout_maps(old_layout, new_layout)
+                    if maps is None:
+                        break
+                vid_map, site_map = maps
+                if key == REACHABLE_KEY:
+                    new_key = REACHABLE_KEY
+                elif isinstance(key, tuple) and len(key) == 2:
+                    if _needs_poststar(key[1]):
+                        # Reachable-contexts queries bake in the donor's
+                        # Poststar language; its *record* passing the
+                        # subset test proves the language unchanged.
+                        if poststar_ok is None:
+                            poststar_ok = _poststar_record_intact(
+                                records, poststar_digest, new_key_set
+                            )
+                        if not poststar_ok:
+                            continue
+                    inner = _remap_criterion_key(key[1], vid_map, site_map)
+                    if inner is None:
+                        continue
+                    new_key = (key[0], inner)
+                else:
+                    continue
+            else:
+                new_key = key
+            if not is_stable_key(new_key):
+                continue
+            new_digest = stable_key_digest(new_key)
+            if new_digest in adopted_records:
+                continue  # a newer revision already supplied this key
+            with session._lock:
+                if ("saturation", new_key) in session._futures:
+                    continue
+            artifact = store.get_sat(src_hash, key_digest)
+            if not isinstance(artifact, SaturationArtifact) or artifact.key != key:
+                # Stale record: the artifact file was evicted (or
+                # corrupted) out from under its index entry.  The next
+                # compaction walk GCs the record.
+                store.count_index(False)
+                continue
+            if translation is not None:
+                survivor = artifact.translated(translation)
+            else:
+                # Footprint keys are, by the subset test, unchanged
+                # between the revisions — the content-key translation
+                # is identity.
+                survivor = artifact.relocated(new_key, vid_map, site_map, {})
+            if survivor.footprint is None:
+                continue
+            session._install("saturation", new_key, survivor)
+            if not store.has_sat(new_hash, new_digest):
+                store.put_sat(new_hash, new_digest, survivor)
+            adopted_records[new_digest] = (
+                new_key,
+                survivor.kind,
+                tuple(sorted(survivor.footprint)),
+            )
+            store.count_index(True)
+            adopted += 1
+    if adopted_records:
+        store.merge_sat_index(new_hash, layout=new_layout, records=adopted_records)
+    with session._lock:
+        session._stats["sats_adopted"] += adopted
+        session._stats["discovery_seconds"] += time.perf_counter() - t0
+    return adopted
+
+
 # -- the update itself -------------------------------------------------------------
 
 
@@ -423,11 +683,26 @@ def update_session(session, new_source):
         # composing with the __procs__ partial front-half hits.
         # Existence-gated like the bundle above: an undo/redo loop
         # returning to already-seen text skips the re-serialization.
+        sat_records = {}
         for (cache_kind, memo_key), future in new_futures.items():
             if cache_kind == "saturation" and is_stable_key(memo_key):
                 digest = stable_key_digest(memo_key)
+                artifact = future.result()
                 if not session.store.has_sat(new_hash, digest):
-                    session.store.put_sat(new_hash, digest, future.result())
+                    session.store.put_sat(new_hash, digest, artifact)
+                if artifact.footprint is not None:
+                    sat_records[digest] = (
+                        memo_key,
+                        artifact.kind,
+                        tuple(sorted(artifact.footprint)),
+                    )
+        if sat_records:
+            # The per-revision saturation index (layout + records) is
+            # what lets a cold process discover these artifacts later
+            # (see discover_artifacts).
+            session.store.merge_sat_index(
+                new_hash, layout=session_layout(session), records=sat_records
+            )
 
     import repro
 

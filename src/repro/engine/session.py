@@ -178,7 +178,19 @@ class SlicingSession(object):
             "persist_misses": 0,
             "sat_persist_hits": 0,
             "sat_persist_misses": 0,
+            "sats_adopted": 0,
+            "discovery_seconds": 0.0,
         }
+        if store is not None and self.source_hash is not None:
+            # Cross-revision discovery: adopt saturations filed under
+            # other revisions of this program (see
+            # :func:`repro.engine.incremental.discover_artifacts`).
+            # Skips instantly when this revision's own index already
+            # records the shared Poststar.
+            from repro.engine.incremental import discover_artifacts
+
+            discover_artifacts(self)
+            self._stats["load_seconds"] = time.perf_counter() - t0
 
     @classmethod
     def for_sdg(cls, sdg):
@@ -561,7 +573,31 @@ class SlicingSession(object):
         value = compute()
         if digest is not None:
             self.store.put_sat(src_hash, digest, value)
+            self._index_filed(src_hash, digest, value)
         return value
+
+    def _index_filed(self, src_hash, digest, artifact):
+        """Record a freshly filed saturation artifact in its revision's
+        saturation index (layout + one record), making it discoverable
+        by cold sessions on *other* revisions.  Skipped when ownership
+        is unknown or a concurrent ``update_source`` re-pointed the
+        session mid-compute (the snapshot hash no longer names this
+        front half, so this session's layout would be the wrong one)."""
+        if artifact.footprint is None or src_hash != self.source_hash:
+            return
+        from repro.engine.incremental import session_layout
+
+        self.store.merge_sat_index(
+            src_hash,
+            layout=session_layout(self),
+            records={
+                digest: (
+                    artifact.key,
+                    artifact.kind,
+                    tuple(sorted(artifact.footprint)),
+                )
+            },
+        )
 
     def _slim(self, value):
         """A shallow copy of a result with the shared front half nulled

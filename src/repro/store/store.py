@@ -13,6 +13,7 @@ text), one file per cached object inside it::
         proc-<content_key>.slc         # pickled per-procedure ProcPart
       __sats__/
         sat-<digest>.slc               # pickled SaturationArtifact
+        idx-<source_hash>.slc          # per-revision saturation index
 
 ``key_digest`` is :func:`repro.engine.canonical.stable_key_digest` of
 the same canonical criterion key the in-memory session memo uses, so
@@ -31,6 +32,21 @@ Poststar artifact instead of re-saturating, and an incremental
 ``update_source`` re-files every surviving artifact under the edited
 text's hash (footprint-aware survival, composing with ``__procs__``).
 
+The saturation index.  Beside the artifacts, ``__sats__`` keeps one
+small ``idx-<source_hash>.slc`` file per revision: the revision's
+per-procedure symbol *layout* (each procedure's content key, dependence
+shape digest, vertex ids, and call-site labels, in build order) plus
+one record per filed
+artifact (memo key, saturation kind, ownership footprint).  The index
+is what makes artifacts discoverable **across revisions with no live
+session**: a cold process opening edited text computes its procedure
+content keys, scans the indexes of other revisions for artifacts whose
+footprint is a subset of its unchanged keys, renumbers them through the
+two layouts, and adopts them (see
+:func:`repro.engine.incremental.discover_artifacts`).  The kind in
+each record also tells the evictor how expensive the artifact is to
+recompute without unpickling it.
+
 Entry format.  Every file is ``MAGIC | version | sha256(payload) |
 payload`` with the payload a pickle.  Reads verify all three prefixes;
 any mismatch — a truncated write, a flipped byte, a file written by an
@@ -41,11 +57,27 @@ bad results.
 Writes are atomic (temp file + :func:`os.replace` in the same
 directory), which also makes concurrent writers safe: the last
 complete write wins and readers only ever observe whole entries.
+Writes are also *optional*: the store is an optimization, never a
+dependency, so an ``OSError`` on the write path (ENOSPC, EACCES, a
+read-only cache dir) degrades to a counted no-op (``write_errors``)
+instead of failing the query whose answer already exists.
 
 Eviction.  The store is capped at ``max_bytes`` (default 256 MiB,
-overridable via ``REPRO_CACHE_MAX_BYTES``).  Reads bump the entry's
-mtime, and when a write pushes the store over the cap, entries are
-dropped oldest-mtime-first — i.e. least-recently-used — until it fits.
+overridable via ``REPRO_CACHE_MAX_BYTES``; a malformed value falls
+back to the default with a warning rather than crashing every
+session).  Eviction is **recompute-cost-aware**, not flat LRU: entries
+are ranked by how expensive they are to rebuild — slim results first
+(milliseconds, given warm saturations), then per-procedure parts, then
+Prestar artifacts, then Poststar artifacts, and front-half bundles and
+saturation indexes last — with oldest-mtime-first (reads bump mtime,
+so LRU) as the tie-break *within* a tier.  A 256 MiB cache under
+pressure therefore sheds cheap rendered results and keeps the shared
+Poststar that costs seconds to re-saturate.  Every eviction walk also
+garbage-collects the saturation indexes (records whose artifact file
+is gone are pruned; ``gc_index_pruned``), and any walk that evicted or
+pruned something bumps the lifetime counters persisted in the
+``__sats__/meta`` sidecar, which ``repro cache stats`` reports across
+processes.
 """
 
 import hashlib
@@ -54,13 +86,16 @@ import pickle
 import struct
 import tempfile
 import threading
+import warnings
 
 MAGIC = b"RSLC"
 #: Bump on any incompatible change to the entry format *or* to the
 #: pickled object graphs; old entries are then invalidated on read.
 #: v2: results carry ownership footprints; saturations became
 #: first-class SaturationArtifact entries in the __sats__ table.
-STORE_VERSION = 2
+#: v3: per-revision saturation indexes (layout + artifact records)
+#: beside __sats__ make artifacts discoverable across revisions.
+STORE_VERSION = 3
 
 _VERSION_STRUCT = struct.Struct(">H")
 _HEADER_LEN = len(MAGIC) + _VERSION_STRUCT.size + hashlib.sha256().digest_size
@@ -74,10 +109,39 @@ _FRONTHALF = "fronthalf"
 _PARTS_DIR = "__procs__"
 _SATS_DIR = "__sats__"
 _SPECIAL_DIRS = frozenset([_PARTS_DIR, _SATS_DIR])
+#: the per-revision saturation-index table (files in __sats__)
+_SAT_INDEX = "idx"
+#: the lifetime-counter sidecar, kept in __sats__ under a non-entry
+#: name (never evicted, invisible to _entries, removed only by clear())
+_META_NAME = "meta"
 #: orphaned temp files older than this are swept during eviction/clear
 _TMP_GRACE_SECONDS = 60
 
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Recompute-cost tiers for eviction, cheapest-to-rebuild first.  Slim
+#: results are re-rendered in milliseconds once their saturation is
+#: warm; a procedure part is one PDG build; a Prestar is one criterion
+#: saturation; a Poststar (the shared reachable-configs one above all)
+#: costs seconds on large programs; the front-half bundle and the
+#: saturation indexes anchor everything else and go last.
+TIER_RESULT = 0
+TIER_PROC = 1
+TIER_SAT_PRESTAR = 2
+TIER_SAT_POSTSTAR = 3
+TIER_PRECIOUS = 4
+
+_TIER_BY_TABLE = {
+    "slice": TIER_RESULT,
+    "feature": TIER_RESULT,
+    "feature_clean": TIER_RESULT,
+    "proc": TIER_PROC,
+    _FRONTHALF: TIER_PRECIOUS,
+    _SAT_INDEX: TIER_PRECIOUS,
+}
+
+#: lifetime counters persisted across processes in __meta__.slc
+_LIFETIME_COUNTERS = ("evictions", "compactions", "gc_index_pruned")
 
 
 def default_cache_dir():
@@ -104,25 +168,16 @@ class SliceStore(object):
 
     Attributes:
         cache_dir: the root directory (created lazily on first write).
-        max_bytes: LRU size cap over all entry files.
+        max_bytes: size cap over all entry files (eviction is
+            recompute-cost-aware; see the module docstring).
     """
 
     def __init__(self, cache_dir=None, max_bytes=None):
         self.cache_dir = os.path.abspath(
             os.path.expanduser(cache_dir or default_cache_dir())
         )
-        if max_bytes is None:
-            max_bytes = int(
-                os.environ.get("REPRO_CACHE_MAX_BYTES", DEFAULT_MAX_BYTES)
-            )
-        self.max_bytes = max_bytes
         self._lock = threading.Lock()
-        # Approximate on-disk total, maintained incrementally so writes
-        # do not walk the store; None until the first write scans once.
-        # Writers in other processes are invisible to the estimate, but
-        # every full scan (triggered whenever the estimate crosses the
-        # cap) resyncs it with the truth.
-        self._approx_bytes = None
+        self._index_lock = threading.Lock()
         self._counters = {
             "hits": 0,
             "misses": 0,
@@ -130,10 +185,40 @@ class SliceStore(object):
             "proc_misses": 0,
             "sat_hits": 0,
             "sat_misses": 0,
+            "index_hits": 0,
+            "index_misses": 0,
             "stores": 0,
             "evictions": 0,
             "invalid_dropped": 0,
+            "write_errors": 0,
+            "config_errors": 0,
+            "gc_index_pruned": 0,
+            "compactions": 0,
         }
+        if max_bytes is None:
+            raw = os.environ.get("REPRO_CACHE_MAX_BYTES")
+            max_bytes = DEFAULT_MAX_BYTES
+            if raw:
+                try:
+                    max_bytes = int(raw)
+                except ValueError:
+                    # A malformed knob (e.g. "256M") must degrade, not
+                    # crash every session with a cache dir attached.
+                    self._counters["config_errors"] += 1
+                    warnings.warn(
+                        "ignoring malformed REPRO_CACHE_MAX_BYTES=%r "
+                        "(want a byte count, e.g. 268435456); using the "
+                        "default %d" % (raw, DEFAULT_MAX_BYTES),
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        self.max_bytes = max_bytes
+        # Approximate on-disk total, maintained incrementally so writes
+        # do not walk the store; None until the first write scans once.
+        # Writers in other processes are invisible to the estimate, but
+        # every full scan (triggered whenever the estimate crosses the
+        # cap) resyncs it with the truth.
+        self._approx_bytes = None
 
     # -- the generic object cache ----------------------------------------------
 
@@ -147,8 +232,9 @@ class SliceStore(object):
         return value
 
     def put(self, src_hash, table, key_digest, value):
-        """Cache ``value``; atomic, last-writer-wins, then LRU-evict if
-        the store grew past ``max_bytes``."""
+        """Cache ``value``; atomic, last-writer-wins, then cost-aware
+        eviction if the store grew past ``max_bytes``.  A failing
+        filesystem degrades to a counted no-op (``write_errors``)."""
         path = self._entry_path(src_hash, table, key_digest)
         written = self._write(path, value)
         self._count("stores")
@@ -169,9 +255,12 @@ class SliceStore(object):
         self._note_written(written)
 
     def has_program(self, src_hash):
-        """Whether a front-half bundle exists on disk for a source hash
-        (existence only — the entry is still validated on read)."""
-        return os.path.exists(self._entry_path(src_hash, _FRONTHALF, None))
+        """Whether a *plausibly valid* front-half bundle exists on disk
+        for a source hash: the header (magic + version) is checked
+        cheaply, so a corrupt or stale-version file does not let a
+        caller skip re-persisting over it.  The payload checksum is
+        still verified on read."""
+        return self._has_valid_header(self._entry_path(src_hash, _FRONTHALF, None))
 
     # -- the per-procedure table -------------------------------------------------
 
@@ -225,14 +314,84 @@ class SliceStore(object):
         self._note_written(written)
 
     def has_sat(self, src_hash, key_digest):
-        """Whether a saturation artifact exists on disk for the given
-        front-half hash and key digest (existence only — the entry is
-        still validated on read).  Lets ``update_source`` skip
-        re-serializing survivors the store already holds (the undo/redo
-        editor loop)."""
-        return os.path.exists(
+        """Whether a *plausibly valid* saturation artifact exists on
+        disk for the given front-half hash and key digest.  Lets
+        ``update_source`` skip re-persisting survivors the store
+        already holds (the undo/redo editor loop) — but the header
+        (magic + version) is validated cheaply, so a corrupt or
+        stale-``STORE_VERSION`` file reads as absent and the survivor
+        is re-persisted instead of being silently lost on the next
+        read."""
+        return self._has_valid_header(
             self._entry_path(_SATS_DIR, "sat", self.sat_name(src_hash, key_digest))
         )
+
+    # -- the per-revision saturation index -------------------------------------
+
+    def get_sat_index(self, src_hash):
+        """The saturation index for one revision, or None: a dict with
+
+        * ``"layout"`` — one ``(name, content key, shape digest,
+          vertex ids, call-site labels)`` entry per procedure of the
+          revision, in program order (the coordinate system artifacts
+          are renumbered through), and
+        * ``"artifacts"`` — saturation key digest -> ``(memo key,
+          kind, footprint tuple)`` for every artifact filed under the
+          revision.
+
+        Indexes ride the same header/checksum format as entries, so a
+        corrupt index degrades to "revision not discoverable"."""
+        value, _ok = self._read(self._sat_index_path(src_hash))
+        if isinstance(value, dict) and "layout" in value and "artifacts" in value:
+            return value
+        return None
+
+    def merge_sat_index(self, src_hash, layout=None, records=None):
+        """Merge ``records`` (key digest -> ``(memo key, kind,
+        footprint)``) — and, the first time, the revision's ``layout``
+        — into the revision's index file.  Read-modify-write under the
+        in-process lock; cross-process races are last-writer-wins (a
+        lost record only costs discoverability, never correctness)."""
+        with self._index_lock:
+            index = self.get_sat_index(src_hash)
+            if index is None:
+                index = {"layout": (), "artifacts": {}}
+            if layout:
+                index["layout"] = tuple(layout)
+            if records:
+                index["artifacts"].update(records)
+            written = self._write(self._sat_index_path(src_hash), index)
+        self._note_written(written)
+        return index
+
+    def sat_indexes(self):
+        """Every readable ``(src_hash, index)`` pair, most recently
+        touched revision first — the candidate order cross-revision
+        discovery scans in."""
+        sats_dir = os.path.join(self.cache_dir, _SATS_DIR)
+        prefix = _SAT_INDEX + "-"
+        found = []
+        for name in _listdir(sats_dir):
+            if not (name.startswith(prefix) and name.endswith(_SUFFIX)):
+                continue
+            path = os.path.join(sats_dir, name)
+            try:
+                mtime = os.stat(path).st_mtime
+            except OSError:
+                continue
+            found.append((mtime, name[len(prefix):-len(_SUFFIX)]))
+        found.sort(reverse=True)
+        result = []
+        for _mtime, src_hash in found:
+            index = self.get_sat_index(src_hash)
+            if index is not None:
+                result.append((src_hash, index))
+        return result
+
+    def count_index(self, hit):
+        """Count one cross-revision discovery attempt against the
+        index (``index_hits``/``index_misses``)."""
+        self._count("index_hits" if hit else "index_misses")
 
     # -- maintenance -----------------------------------------------------------
 
@@ -243,6 +402,7 @@ class SliceStore(object):
             if self._unlink(path):
                 removed += 1
         self._sweep_stale_temp()
+        _unlink_quiet(self._meta_path())
         for name in _listdir(self.cache_dir):
             _rmdir(os.path.join(self.cache_dir, name))
         with self._lock:
@@ -251,14 +411,16 @@ class SliceStore(object):
 
     def stats(self):
         """A snapshot: on-disk shape (programs, entries, bytes, and a
-        per-table entry/byte breakdown) plus this process's
-        hit/miss/store/eviction counters.
+        per-table entry/byte breakdown), this process's
+        hit/miss/store/eviction counters, and the cross-process
+        ``lifetime`` GC/compaction totals from the ``__sats__/meta``
+        sidecar.
 
         ``tables`` maps table name (``fronthalf``, ``slice``,
-        ``feature``, ``feature_clean``, ``proc``, ``sat``) to entry
-        count; ``table_bytes`` maps the same names to total bytes, so
-        the new ``__sats__`` table (and every other one) is observable
-        from ``repro cache stats``.
+        ``feature``, ``feature_clean``, ``proc``, ``sat``, ``idx``) to
+        entry count; ``table_bytes`` maps the same names to total
+        bytes, so the new ``__sats__`` table (and every other one) is
+        observable from ``repro cache stats``.
         """
         entries = self._entries()
         programs = set()
@@ -268,9 +430,7 @@ class SliceStore(object):
             subdir = os.path.basename(os.path.dirname(path))
             if subdir not in _SPECIAL_DIRS:
                 programs.add(subdir)
-            table = os.path.basename(path).rsplit("-", 1)[0]
-            if table.endswith(_SUFFIX):
-                table = table[: -len(_SUFFIX)]
+            table = self._entry_table(path)
             tables[table] = tables.get(table, 0) + 1
             table_bytes[table] = table_bytes.get(table, 0) + size
         with self._lock:
@@ -284,6 +444,7 @@ class SliceStore(object):
             total_bytes=sum(size for _path, size, _mtime in entries),
             tables=tables,
             table_bytes=table_bytes,
+            lifetime=self._read_lifetime(),
         )
         return counters
 
@@ -292,6 +453,21 @@ class SliceStore(object):
     def _entry_path(self, src_hash, table, key_digest):
         name = table if key_digest is None else "%s-%s" % (table, key_digest)
         return os.path.join(self.cache_dir, src_hash, name + _SUFFIX)
+
+    def _sat_index_path(self, src_hash):
+        return self._entry_path(_SATS_DIR, _SAT_INDEX, src_hash)
+
+    def _meta_path(self):
+        return os.path.join(self.cache_dir, _SATS_DIR, _META_NAME)
+
+    @staticmethod
+    def _entry_table(path):
+        """The stats/tier table an entry file belongs to (``slice``,
+        ``sat``, ``idx``, ``fronthalf``, ...)."""
+        table = os.path.basename(path).rsplit("-", 1)[0]
+        if table.endswith(_SUFFIX):
+            table = table[: -len(_SUFFIX)]
+        return table
 
     def _read(self, path):
         """Returns ``(value, ok)``; drops the file on any defect."""
@@ -321,8 +497,28 @@ class SliceStore(object):
         _touch(path)
         return value, True
 
+    def _has_valid_header(self, path):
+        """Cheap existence-plus-plausibility: the file starts with our
+        magic and the current version.  The payload checksum is *not*
+        read — that stays on the read path — but a truncated, foreign,
+        or old-version file correctly reads as absent."""
+        want = len(MAGIC) + _VERSION_STRUCT.size
+        try:
+            with open(path, "rb") as handle:
+                head = handle.read(want)
+        except OSError:
+            return False
+        if len(head) < want or not head.startswith(MAGIC):
+            return False
+        (version,) = _VERSION_STRUCT.unpack_from(head, len(MAGIC))
+        return version == STORE_VERSION
+
     def _write(self, path, value):
-        """Atomically write one entry; returns the bytes written."""
+        """Atomically write one entry; returns the bytes written, or 0
+        when the filesystem refused (ENOSPC, EACCES, read-only dir) —
+        the store is an optimization, so a failed write is a counted
+        no-op (``write_errors``), never an exception on the query
+        path.  Pickling errors (a programming bug) still raise."""
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         blob = (
             MAGIC
@@ -331,15 +527,19 @@ class SliceStore(object):
             + payload
         )
         directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=_TMP_SUFFIX)
         try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(temp_path, path)
-        except BaseException:
-            _unlink_quiet(temp_path)
-            raise
+            os.makedirs(directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(dir=directory, suffix=_TMP_SUFFIX)
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(temp_path, path)
+            except BaseException:
+                _unlink_quiet(temp_path)
+                raise
+        except OSError:
+            self._count("write_errors")
+            return 0
         return len(blob)
 
     def _drop_invalid(self, path):
@@ -350,30 +550,95 @@ class SliceStore(object):
         """Incremental size accounting: a write only triggers the
         O(entries) eviction walk when the running estimate crosses the
         cap (the estimate over-counts overwrites, which merely causes
-        an early — and correcting — scan)."""
+        an early — and correcting — scan).  A degraded write (0 bytes)
+        with a known total is a no-op."""
         with self._lock:
             unknown = self._approx_bytes is None
+            over = False
             if not unknown:
                 self._approx_bytes += nbytes
                 over = self._approx_bytes > self.max_bytes
         if unknown or over:
-            self._evict_lru()
+            self._evict()
 
-    def _evict_lru(self):
+    def _evict(self):
+        """The compaction walk: sweep stale temp files, GC the
+        saturation indexes, and — when over the cap — drop entries in
+        recompute-cost order (cheapest tier first, oldest mtime first
+        within a tier) until the store fits."""
         self._sweep_stale_temp()
         entries = self._entries()
+        self._count("compactions")
+        sat_tiers, pruned = self._gc_sat_indexes(entries)
         total = sum(size for _path, size, _mtime in entries)
+        evicted = 0
         if total > self.max_bytes:
-            # Oldest mtime first; reads touch their entry, so this is LRU.
-            entries.sort(key=lambda entry: entry[2])
+            entries.sort(key=lambda entry: (self._entry_tier(entry[0], sat_tiers), entry[2]))
             for path, size, _mtime in entries:
                 if total <= self.max_bytes:
                     break
                 if self._unlink(path):
                     total -= size
+                    evicted += 1
                     self._count("evictions")
         with self._lock:
             self._approx_bytes = total
+        self._bump_lifetime(compactions=1, evictions=evicted, gc_index_pruned=pruned)
+
+    def _entry_tier(self, path, sat_tiers):
+        """The eviction tier of one entry file.  Saturation artifacts
+        are classified through the index records (``sat_tiers``: file
+        name -> tier); an unindexed artifact defaults to the Poststar
+        tier — when in doubt, keep the thing that might cost seconds."""
+        table = self._entry_table(path)
+        if table == "sat":
+            name = os.path.basename(path)[len("sat-"):-len(_SUFFIX)]
+            return sat_tiers.get(name, TIER_SAT_POSTSTAR)
+        return _TIER_BY_TABLE.get(table, TIER_RESULT)
+
+    def _gc_sat_indexes(self, entries):
+        """Prune index records whose artifact file is gone; drop an
+        index outright when it has no records left *and* its revision's
+        front half is gone too.  Returns ``(sat file name -> tier,
+        pruned record count)`` — the classification the evictor needs,
+        computed in the same pass."""
+        live = set()
+        for path, _size, _mtime in entries:
+            name = os.path.basename(path)
+            if (
+                os.path.basename(os.path.dirname(path)) == _SATS_DIR
+                and name.startswith("sat-")
+            ):
+                live.add(name[len("sat-"):-len(_SUFFIX)])
+        sat_tiers = {}
+        pruned = 0
+        for src_hash, index in self.sat_indexes():
+            artifacts = index.get("artifacts") or {}
+            stale = []
+            for key_digest, (_key, kind, _footprint) in artifacts.items():
+                file_name = self.sat_name(src_hash, key_digest)
+                if file_name in live:
+                    sat_tiers[file_name] = (
+                        TIER_SAT_PRESTAR if kind == "prestar" else TIER_SAT_POSTSTAR
+                    )
+                else:
+                    stale.append(key_digest)
+            for key_digest in stale:
+                artifacts.pop(key_digest, None)
+            pruned += len(stale)
+            if not artifacts and not self.has_program(src_hash):
+                # Nothing left to translate and no front half to pair
+                # with: the index is dead weight, even if it was
+                # already empty before this walk.
+                self._unlink(self._sat_index_path(src_hash))
+            elif stale:
+                # Rewrite directly (no _note_written: we are inside the
+                # compaction walk already).
+                self._write(self._sat_index_path(src_hash), index)
+        if pruned:
+            with self._lock:
+                self._counters["gc_index_pruned"] += pruned
+        return sat_tiers, pruned
 
     def _sweep_stale_temp(self):
         """Remove orphaned ``.tmp`` files (a writer killed between
@@ -411,6 +676,33 @@ class SliceStore(object):
                     continue
                 result.append((path, status.st_size, status.st_mtime))
         return result
+
+    def _read_lifetime(self):
+        """The cross-process lifetime counters (all zero when the meta
+        sidecar is missing or unreadable)."""
+        value, _ok = self._read(self._meta_path())
+        lifetime = {name: 0 for name in _LIFETIME_COUNTERS}
+        if isinstance(value, dict):
+            for name in _LIFETIME_COUNTERS:
+                count = value.get(name)
+                if isinstance(count, int):
+                    lifetime[name] = count
+        return lifetime
+
+    def _bump_lifetime(self, **increments):
+        """Fold this walk's eviction/GC work into the persisted
+        lifetime counters.  Only walks that actually evicted or pruned
+        something write the sidecar — pure scans leave the store's file
+        set untouched.  Best-effort read-modify-write: a racing writer
+        in another process can cost an increment, and a read-only cache
+        dir costs the write — observability only, so both degrade
+        silently."""
+        if not (increments.get("evictions") or increments.get("gc_index_pruned")):
+            return
+        lifetime = self._read_lifetime()
+        for name, count in increments.items():
+            lifetime[name] = lifetime.get(name, 0) + count
+        self._write(self._meta_path(), lifetime)
 
     def _unlink(self, path):
         if _unlink_quiet(path):

@@ -292,6 +292,51 @@ def test_whitespace_and_comment_edit_reuses_everything():
     )
 
 
+@pytest.mark.parametrize(
+    "label,base,edited", CORPUS, ids=[entry[0] for entry in CORPUS]
+)
+def test_cross_revision_discovery_byte_identical_to_cold(
+    label, base, edited, tmp_path
+):
+    """The cross-process variant of the differential: a session on the
+    *base* text files its artifacts in a store and exits; a brand-new
+    store-backed session on the *edited* text (no ``update_source``, no
+    live donor) discovers whatever survives through the footprint index
+    — and every slice it serves must still be byte-identical to a
+    storeless cold session."""
+    from repro.store import SliceStore
+
+    cache = str(tmp_path / "cache")
+    writer = SlicingSession(base, store=SliceStore(cache))
+    base_prints = len(writer.sdg.print_call_vertices())
+    writer.slice_many(
+        [("print", index) for index in range(min(base_prints, MAX_CRITERIA))]
+    )
+    del writer  # the donor process is gone
+
+    reader = SlicingSession(edited, store=SliceStore(cache))
+    cold = SlicingSession(edited)
+    assert _front_half_fingerprint(reader.sdg) == _front_half_fingerprint(cold.sdg)
+
+    prints = cold.sdg.print_call_vertices()
+    criteria = [("print", index) for index in range(min(len(prints), MAX_CRITERIA))]
+    criteria.append("prints")
+    for criterion in criteria:
+        discovered = reader.slice(criterion)
+        reference = cold.slice(criterion)
+        assert discovered.closure_elems() == reference.closure_elems(), (
+            label,
+            criterion,
+        )
+        assert discovered.version_counts() == reference.version_counts(), (
+            label,
+            criterion,
+        )
+        assert pretty(reader.executable(criterion).program) == pretty(
+            cold.executable(criterion).program
+        ), (label, criterion)
+
+
 def test_chained_updates_stay_faithful():
     """Several updates in sequence (the editor loop) keep serving
     cold-identical results."""

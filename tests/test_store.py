@@ -1,15 +1,21 @@
 """Tests for the persistent slice store (:mod:`repro.store`).
 
 Covers the store's own durability edge cases — corrupted, truncated,
-and version-mismatched entry files, concurrent writers, LRU eviction —
-plus the session integration: warm front-half loads, disk-served
-slices with zero saturation work, store-backed ``open_session``, the
-process backend, and the ``repro cache`` CLI.
+and version-mismatched entry files, concurrent writers, eviction under
+a tight cap — plus configuration/filesystem degradation (malformed
+``REPRO_CACHE_MAX_BYTES``, ENOSPC-style write failures), the
+per-revision saturation index, and the session integration: warm
+front-half loads, disk-served slices with zero saturation work,
+store-backed ``open_session``, the process backend, and the ``repro
+cache`` CLI.
 """
 
+import errno
 import os
+import struct
 import threading
 import time
+import warnings
 
 import pytest
 
@@ -17,7 +23,7 @@ import repro
 from repro.cli import build_parser
 from repro.engine import SlicingSession, slice_many_programs, stable_key_digest
 from repro.lang import pretty
-from repro.store import STORE_VERSION, SliceStore, source_hash
+from repro.store import DEFAULT_MAX_BYTES, STORE_VERSION, SliceStore, source_hash
 from repro.store.store import MAGIC
 from repro.workloads.paper_figures import FIG1_SOURCE
 
@@ -153,6 +159,221 @@ def test_lru_eviction_caps_size(tmp_path):
     assert store.get(HASH, "slice", "key01") is None  # cold entry evicted
 
 
+def test_eviction_with_concurrent_readers(tmp_path):
+    """Readers racing the eviction walk must never see an exception or
+    a torn entry — a concurrently unlinked file is just a miss — and
+    the cap still holds afterwards."""
+    store = _store(tmp_path, max_bytes=20_000)
+    payload = "y" * 1500
+    stop = threading.Event()
+    errors = []
+
+    def read_loop():
+        try:
+            while not stop.is_set():
+                for index in range(30):
+                    store.get(HASH, "slice", "key%02d" % index)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    readers = [threading.Thread(target=read_loop) for _ in range(4)]
+    for thread in readers:
+        thread.start()
+    try:
+        for index in range(30):
+            store.put(HASH, "slice", "key%02d" % index, (index, payload))
+    finally:
+        stop.set()
+        for thread in readers:
+            thread.join()
+    assert not errors
+    stats = store.stats()
+    assert stats["total_bytes"] <= 20_000
+    assert stats["evictions"] >= 1
+
+
+# -- configuration and filesystem degradation --------------------------------------
+
+
+def test_malformed_max_bytes_env_falls_back(tmp_path, monkeypatch):
+    """A malformed ``REPRO_CACHE_MAX_BYTES`` (e.g. ``256M``) must not
+    crash every session with a cache dir: the store warns once, counts
+    a config error, and runs with the default cap."""
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "256M")
+    with pytest.warns(RuntimeWarning, match="REPRO_CACHE_MAX_BYTES"):
+        store = _store(tmp_path)
+    assert store.max_bytes == DEFAULT_MAX_BYTES
+    assert store.stats()["config_errors"] == 1
+    # The degraded store still works end to end.
+    store.put(HASH, "slice", KEY, "value")
+    assert store.get(HASH, "slice", KEY) == "value"
+    # A well-formed value is honored as before...
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+    assert _store(tmp_path).max_bytes == 12345
+    # ...and an explicit max_bytes never consults (or warns about) the env.
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "bogus")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert _store(tmp_path, max_bytes=99).max_bytes == 99
+
+
+def _deny_writes(monkeypatch):
+    """Make every entry write fail the way a full/read-only filesystem
+    would (deterministic stand-in for ENOSPC/EACCES)."""
+
+    def refuse(*_args, **_kwargs):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    monkeypatch.setattr("repro.store.store.tempfile.mkstemp", refuse)
+
+
+def test_write_failure_degrades_to_counted_noop(tmp_path, monkeypatch):
+    """``put``/``put_program``/``put_sat``/``merge_sat_index`` on a
+    failing filesystem are counted no-ops, never exceptions — the store
+    is an optimization, not a dependency."""
+    store = _store(tmp_path)
+    store.put(HASH, "slice", KEY, "kept")
+    _deny_writes(monkeypatch)
+    store.put(HASH, "slice", "other", "dropped")
+    store.put_program(HASH, {"front": "half"})
+    store.put_sat(HASH, KEY, "artifact")
+    store.merge_sat_index(HASH, layout=(("main", "k", "s", (1,), ()),), records={})
+    assert store.stats()["write_errors"] == 4
+    # Reads are unaffected: the pre-existing entry still answers.
+    assert store.get(HASH, "slice", KEY) == "kept"
+    assert store.get(HASH, "slice", "other") is None
+
+
+def test_queries_survive_failing_cache_writes(tmp_path, monkeypatch):
+    """A slicing query whose answer already exists must not fail just
+    because persisting it cannot: the full session pipeline runs to a
+    correct result on a write-dead store."""
+    reference = pretty(SlicingSession(FIG1_SOURCE).executable().program)
+    _deny_writes(monkeypatch)
+    session = SlicingSession(FIG1_SOURCE, store=_store(tmp_path))
+    assert pretty(session.executable().program) == reference
+    stats = session.store.stats()
+    assert stats["write_errors"] >= 1
+    assert stats["entries"] == 0  # nothing landed, nothing raised
+
+
+def test_has_helpers_validate_header(tmp_path):
+    """``has_program``/``has_sat`` are existence *plus* header checks:
+    a corrupt or stale-version file reads as absent, so callers
+    re-persist over it instead of trusting a file the next read will
+    drop (the lost-survivor bug)."""
+    store = _store(tmp_path)
+    store.put_program(HASH, {"front": "half"})
+    store.put_sat(HASH, KEY, "artifact")
+    assert store.has_program(HASH) and store.has_sat(HASH, KEY)
+    # A stale STORE_VERSION reads as absent.
+    paths = _entry_files(store)
+    for path in paths:
+        blob = bytearray(open(path, "rb").read())
+        blob[len(MAGIC)] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+    assert not store.has_program(HASH) and not store.has_sat(HASH, KEY)
+    # A file truncated inside the header reads as absent.
+    for path in paths:
+        open(path, "wb").write(MAGIC[:2])
+    assert not store.has_program(HASH) and not store.has_sat(HASH, KEY)
+    # Foreign magic reads as absent; a missing file too.
+    for path in paths:
+        open(path, "wb").write(b"ELF\x7f" + b"\x00" * 16)
+    assert not store.has_program(HASH) and not store.has_sat(HASH, KEY)
+    for path in paths:
+        os.unlink(path)
+    assert not store.has_program(HASH) and not store.has_sat(HASH, KEY)
+
+
+def test_update_refiles_survivor_over_stale_version_file(tmp_path):
+    """The end-to-end lost-survivor regression: ``update_source`` must
+    re-persist a surviving artifact over a stale-version file at its
+    new location (the old existence-only ``has_sat`` skipped the write,
+    and the next read dropped the file — survivor gone)."""
+    from repro.engine.canonical import REACHABLE_KEY
+
+    cache = str(tmp_path / "cache")
+    session = SlicingSession(FIG1_SOURCE, store=SliceStore(cache))
+    session.slice()
+    edited = FIG1_SOURCE.replace("p(g2, 3)", "p(g2, 4)")
+    new_hash = source_hash(edited)
+    store = session.store
+    stale = store._entry_path(
+        "__sats__", "sat", store.sat_name(new_hash, stable_key_digest(REACHABLE_KEY))
+    )
+    os.makedirs(os.path.dirname(stale), exist_ok=True)
+    open(stale, "wb").write(MAGIC + struct.pack(">H", STORE_VERSION + 7) + b"junk")
+
+    summary = session.update_source(edited)
+    assert summary["fast_path"] is True and summary["saturations_kept"] >= 1
+    # The stale file was overwritten with a valid entry: a fresh
+    # process loads the survivor (zero saturations computed) instead
+    # of dropping it.
+    reader = SlicingSession(edited, store=SliceStore(cache))
+    reader.slice()
+    assert reader.stats["sat_persist_hits"] == 2
+    assert reader.stats["sat_persist_misses"] == 0
+
+
+# -- the per-revision saturation index ---------------------------------------------
+
+
+def test_sat_index_records_filed_artifacts(tmp_path):
+    """Every artifact a session files lands in its revision's index
+    with its memo key, kind, and footprint, beside the revision's
+    symbol layout."""
+    store = _store(tmp_path)
+    session = SlicingSession(FIG1_SOURCE, store=store)
+    session.slice()
+    index = store.get_sat_index(HASH)
+    assert index is not None
+    names = [entry[0] for entry in index["layout"]]
+    assert names == [proc.name for proc in session.program.procs]
+    kinds = sorted(kind for _key, kind, _fp in index["artifacts"].values())
+    assert kinds == ["poststar", "prestar"]
+    for _key, _kind, footprint in index["artifacts"].values():
+        assert footprint  # ownership known, non-empty
+    # The index file itself is a versioned entry: corruption degrades
+    # to "revision not discoverable", never an exception.
+    (idx_path,) = [p for p in _entry_files(store) if "/idx-" in p.replace(os.sep, "/")]
+    blob = bytearray(open(idx_path, "rb").read())
+    blob[-1] ^= 0xFF
+    open(idx_path, "wb").write(bytes(blob))
+    assert store.get_sat_index(HASH) is None
+
+
+def test_sat_index_stable_across_processes(tmp_path):
+    """Cross-process footprint-index stability: a fresh interpreter
+    (fresh hash seed) writes the same layout and the same records for
+    the same source."""
+    import subprocess
+    import sys
+
+    cache_here = str(tmp_path / "here")
+    cache_there = str(tmp_path / "there")
+    SlicingSession(FIG1_SOURCE, store=SliceStore(cache_here)).slice()
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    script = (
+        "import sys\n"
+        "from repro.engine import SlicingSession\n"
+        "from repro.store import SliceStore\n"
+        "SlicingSession(sys.stdin.read(), store=SliceStore(%r)).slice()\n"
+        % cache_there
+    )
+    env = dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED="54321")
+    subprocess.check_output(
+        [sys.executable, "-c", script], input=FIG1_SOURCE, env=env, text=True
+    )
+    here = SliceStore(cache_here).get_sat_index(HASH)
+    there = SliceStore(cache_there).get_sat_index(HASH)
+    assert here is not None and there is not None
+    assert here["layout"] == there["layout"]
+    assert here["artifacts"] == there["artifacts"]
+
+
 def test_cache_dir_tilde_expands(tmp_path, monkeypatch):
     """The documented ``cache_dir="~/.cache/repro"`` spelling must land
     under the home directory, not in a literal ``./~``."""
@@ -210,8 +431,9 @@ def test_stored_entries_are_slim(tmp_path):
         "feature_clean",
         "proc",
         "sat",
+        "idx",
     }
-    for table in ("slice", "feature", "feature_clean", "proc", "sat"):
+    for table in ("slice", "feature", "feature_clean", "proc", "sat", "idx"):
         assert sizes[table] < sizes["fronthalf"], (
             "%s entry (%d bytes) should be slim, not embed another front "
             "half (%d bytes)" % (table, sizes[table], sizes["fronthalf"])
