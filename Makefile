@@ -21,12 +21,14 @@ test-economics:
 	REPRO_CACHE_MAX_BYTES=1000000 $(PYTHON) -m pytest tests/test_store.py tests/test_cache_economics.py -q
 
 # Quick benchmark pass: QUICK_SUITE with capped slice counts.
+# Both bench targets leave a machine-readable BENCH_<n>.json in the
+# repo root (measured speedups + wall times per benchmark).
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks -x -q
+	REPRO_BENCH_JSON=. $(PYTHON) -m pytest benchmarks -x -q
 
 # The full §8 reproduction (much slower).
 bench-full:
-	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks -x -q
+	REPRO_BENCH_FULL=1 REPRO_BENCH_JSON=. $(PYTHON) -m pytest benchmarks -x -q
 
 # No third-party linters in the container: syntax-check everything.
 lint:

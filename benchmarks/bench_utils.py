@@ -22,6 +22,21 @@ FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 SUITE_NAMES = SUITE if FULL else QUICK_SUITE
 MAX_SLICES = None if FULL else 3
 
+#: machine-readable measurements accumulated across the benchmark run;
+#: when ``REPRO_BENCH_JSON`` names a directory, the session-finish hook
+#: in ``conftest.py`` dumps these to the next free ``BENCH_<n>.json``
+#: there, so the perf trajectory is tracked across PRs.
+BENCH_RECORDS = []
+
+
+def record_bench(name, **fields):
+    """File one benchmark's measurements (speedups, wall times, sizes —
+    whatever the benchmark pins) for the JSON emitter.  A no-op beyond
+    an append: benchmarks stay runnable without the emitter."""
+    record = {"benchmark": name}
+    record.update(fields)
+    BENCH_RECORDS.append(record)
+
 
 def criterion_automaton(entry, criterion):
     """A suite criterion is a list of (vertex, call-stack) configuration

@@ -1,8 +1,11 @@
 """Pytest fixtures for the experiment benchmarks; see bench_utils."""
 
+import json
+import os
+
 import pytest
 
-from bench_utils import MAX_SLICES, SUITE_NAMES, SliceRecord
+from bench_utils import BENCH_RECORDS, MAX_SLICES, SUITE_NAMES, SliceRecord
 from repro.workloads.suite import load_suite
 
 
@@ -19,3 +22,29 @@ def suite_results(suite_entries):
             SliceRecord(entry, criterion) for criterion in entry.criteria
         ]
     return results
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump the run's :data:`bench_utils.BENCH_RECORDS` to the next
+    free ``BENCH_<n>.json`` under the directory ``REPRO_BENCH_JSON``
+    names (``make bench-smoke``/``bench-full`` point it at the repo
+    root), so every benchmark run leaves a machine-readable trace of
+    its measured speedups and wall times."""
+    target = os.environ.get("REPRO_BENCH_JSON")
+    if not target or not BENCH_RECORDS:
+        return
+    n = 0
+    while os.path.exists(os.path.join(target, "BENCH_%d.json" % n)):
+        n += 1
+    path = os.path.join(target, "BENCH_%d.json" % n)
+    payload = {
+        "exit_status": int(exitstatus),
+        "records": BENCH_RECORDS,
+    }
+    try:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError:
+        # The emitter is telemetry, never a reason to fail the run.
+        return

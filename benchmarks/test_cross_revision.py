@@ -27,6 +27,7 @@ import time
 
 import pytest
 
+from bench_utils import record_bench
 from repro.engine import SlicingSession
 from repro.lang import pretty
 from repro.store import SliceStore
@@ -105,6 +106,13 @@ def test_cold_process_on_edited_source_speedup(tmp_path):
             "cold build too fast to measure reliably (%.4fs)" % cold_seconds
         )
     speedup = cold_seconds / discovered_seconds
+    record_bench(
+        "cross_revision_discovery",
+        speedup=speedup,
+        cold_seconds=cold_seconds,
+        discovered_seconds=discovered_seconds,
+        min_speedup=MIN_SPEEDUP,
+    )
     print(
         "\ncold process on one-procedure edit: cold %.3fs, discovered "
         "%.3fs -> %.1fx (%d parts hit, %d sats adopted, discovery %.3fs)"

@@ -16,6 +16,7 @@ when the saturations are not) and stay byte-identical.
 
 import time
 
+from bench_utils import record_bench
 from repro.engine import SlicingSession
 from repro.lang import pretty
 from repro.workloads.wc import scaled_wc_source
@@ -70,6 +71,13 @@ def test_incremental_reslice_speedup():
     _check_identical(warm, cold, criteria)
 
     speedup = cold_seconds / incremental_seconds
+    record_bench(
+        "incremental_reslice",
+        speedup=speedup,
+        cold_seconds=cold_seconds,
+        incremental_seconds=incremental_seconds,
+        min_speedup=3.0,
+    )
     print(
         "\none-procedure edit: cold %.3fs, incremental %.3fs -> %.1fx "
         "(%d/%d procs reused, %d results kept)"

@@ -17,7 +17,7 @@ at 3x leaves room for CI noise while still failing loudly if the int
 paths ever fall back to the object implementations.
 """
 
-from bench_utils import print_table
+from bench_utils import print_table, record_bench
 from repro.core import specialization_slice
 from repro.fsa.serialize import automaton_to_payload
 from repro.workloads.exponential import exponential_program
@@ -59,6 +59,13 @@ def test_csr_kernel_speedup_on_fig13():
     assert csr_result.stats["kernel_rules_compiled"] > 0
 
     speedup = object_core / csr_core
+    record_bench(
+        "csr_kernel_fig13",
+        speedup=speedup,
+        object_seconds=object_core,
+        csr_seconds=csr_core,
+        min_speedup=MIN_SPEEDUP,
+    )
     print_table(
         "CSR kernel — Fig. 13 k=%d (prestar + MRD seconds)" % K,
         ["kernel", "core seconds", "speedup"],

@@ -25,6 +25,7 @@ import time
 
 import pytest
 
+from bench_utils import record_bench
 from repro.core import executable_program
 from repro.engine import SlicingSession
 from repro.lang import pretty
@@ -121,6 +122,13 @@ def test_persisted_poststar_speeds_up_new_criterion(tmp_path):
             % cold_seconds
         )
     speedup = cold_seconds / warm_seconds
+    record_bench(
+        "saturation_store",
+        speedup=speedup,
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        min_speedup=MIN_SPEEDUP,
+    )
     print(
         "\nnew criterion on warm front half: with __sats__ %.4fs, "
         "cleared %.4fs -> %.1fx" % (warm_seconds, cold_seconds, speedup)

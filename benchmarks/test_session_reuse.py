@@ -12,6 +12,8 @@ is pure cache lookups, orders of magnitude faster still.
 
 import time
 
+from bench_utils import record_bench
+
 import repro
 from repro.engine import SlicingSession
 from repro.lang import pretty
@@ -60,6 +62,13 @@ def test_session_reuse_speedup():
         )
 
     speedup = cold_seconds / session_seconds
+    record_bench(
+        "session_reuse",
+        speedup=speedup,
+        cold_seconds=cold_seconds,
+        session_seconds=session_seconds,
+        min_speedup=2.0,
+    )
     print(
         "\n%d criteria: one-shot %.3fs, session %.3fs -> %.1fx"
         % (N_CRITERIA, cold_seconds, session_seconds, speedup)

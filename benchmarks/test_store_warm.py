@@ -14,6 +14,7 @@ import time
 
 import pytest
 
+from bench_utils import record_bench
 from repro.core import executable_program
 from repro.engine import SlicingSession
 from repro.lang import pretty
@@ -64,6 +65,13 @@ def test_warm_store_speedup(benchmark_source, tmp_path):
     assert stats["saturation_misses"] == 0 and stats["saturation_hits"] == 0
 
     speedup = cold_seconds / warm_seconds
+    record_bench(
+        "warm_store",
+        speedup=speedup,
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        min_speedup=MIN_SPEEDUP,
+    )
     print(
         "\nwarm store: cold %.3fs, warm %.3fs -> %.1fx"
         % (cold_seconds, warm_seconds, speedup)

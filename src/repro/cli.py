@@ -151,7 +151,10 @@ def cmd_slice_batch(args):
     try:
         # Range validation lives in the engine's criterion resolution.
         results = session.slice_many(
-            criteria, max_workers=args.jobs, backend=args.backend
+            criteria,
+            max_workers=args.jobs,
+            backend=args.backend,
+            batch_saturation=args.batch_saturation,
         )
     except ValueError as exc:
         raise SystemExit("error: %s" % exc)
@@ -184,6 +187,15 @@ def cmd_slice_batch(args):
             stats["kernel_worklist_pops"],
         )
     )
+    if stats.get("fused_batches"):
+        lines.append(
+            "fused: %d criteria saturated in %d batch pass%s"
+            % (
+                stats["fused_criteria"],
+                stats["fused_batches"],
+                "" if stats["fused_batches"] == 1 else "es",
+            )
+        )
     if update is not None:
         lines.append(
             "reuse: %d/%d procedures kept, %d saturations kept / %d dropped (%s path)"
@@ -239,6 +251,8 @@ def cmd_cache(args):
             "name": kernelcfg.resolve_kernel(None),
             "rules_compiled": KERNEL_TOTALS["rules_compiled"],
             "worklist_pops": KERNEL_TOTALS["worklist_pops"],
+            "compile_hits": KERNEL_TOTALS["compile_hits"],
+            "compile_misses": KERNEL_TOTALS["compile_misses"],
         }
         if getattr(args, "as_json", False):
             import json
@@ -377,6 +391,15 @@ def build_parser():
         default=None,
         help="saturation kernel (default: $REPRO_KERNEL or 'object'; "
         "results are byte-identical either way)",
+    )
+    p_batch.add_argument(
+        "--batch-saturation",
+        dest="batch_saturation",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="fuse the batch's cold saturations into one csr kernel "
+        "pass (default: $REPRO_BATCH_SATURATION or 'auto'; results "
+        "are byte-identical either way)",
     )
     p_batch.set_defaults(func=cmd_slice_batch)
 

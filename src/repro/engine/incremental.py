@@ -450,7 +450,15 @@ def discover_artifacts(session):
     new_layout = session_layout(session)
     adopted_records = {}
     adopted = 0
-    for src_hash, index in store.sat_indexes():
+    # The inverted keymap narrows the scan to revisions that can
+    # possibly donate — sharing a content key (footprint-subset
+    # adoption needs one) or the full layout shape signature
+    # (fast-equivalent label edits may share none) — so discovery
+    # stays O(changed keys) however many revisions the store holds.
+    candidates = store.sat_indexes_for(
+        new_key_set, store.layout_signature(new_layout)
+    )
+    for src_hash, index in candidates:
         if src_hash == new_hash:
             continue
         records = index.get("artifacts") or {}
@@ -657,8 +665,15 @@ def update_session(session, new_source):
         session._stats["updates"] += 1
         session._stats["procs_reused"] += len(kept)
         session._stats["procs_rebuilt"] += len(changed)
+        session._batch_queries.clear()
         for name, value in counts.items():
             session._stats[name] += value
+
+    # Re-pin the compiled PDS: on the fast path the encoding object is
+    # unchanged and this is a counted cache hit; otherwise the new
+    # encoding compiles here, once, instead of inside the first
+    # saturation after the edit.
+    session._hold_compiled()
 
     if session.store is not None:
         if not session.store.has_program(new_hash):

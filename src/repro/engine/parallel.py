@@ -62,12 +62,14 @@ def slice_many_programs(
 
 def _slice_one_program(source, criteria, contexts, cache_dir):
     """One worker's whole job: build or store-load the session, then
-    slice every criterion sequentially (the parallelism is across
-    programs, not within one)."""
+    slice every criterion through the batch driver (the process-level
+    parallelism is across programs; within one program the ``csr``
+    kernel's fused saturation pass covers the whole criterion batch in
+    a single worklist run)."""
     store = None
     if cache_dir is not None:
         from repro.store import SliceStore
 
         store = SliceStore(cache_dir)
     session = SlicingSession(source, store=store)
-    return [session.slice(criterion, contexts=contexts) for criterion in criteria]
+    return session.slice_many(criteria, contexts=contexts, max_workers=1)

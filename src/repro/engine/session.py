@@ -67,7 +67,7 @@ from repro.engine.canonical import (
     saturation_key,
     stable_key_digest,
 )
-from repro.pds import encode_sdg, poststar, prestar
+from repro.pds import encode_sdg, poststar, poststar_many, prestar, prestar_many
 from repro.store import source_hash as _source_hash
 
 #: memo tables whose values are persisted when a store is attached
@@ -149,10 +149,20 @@ class SlicingSession(object):
             store.put_program(self.source_hash, sdg)
         self._lock = threading.Lock()
         self._futures = {}  # (cache kind, criterion key) -> Future
+        # Query automata built by a fused batch pass, stashed for the
+        # per-criterion slice compute so criterion construction runs
+        # exactly once per criterion (CONFIGS criteria mint fresh query
+        # states per construction; the saturation and the read-out must
+        # see the same automaton object, as the sequential path does).
+        self._batch_queries = {}  # saturation key -> (encoding, automaton)
         self._stats = {
             "kernel": self.kernel,
             "kernel_rules_compiled": 0,
             "kernel_worklist_pops": 0,
+            "kernel_compile_hits": 0,
+            "kernel_compile_misses": 0,
+            "fused_batches": 0,
+            "fused_criteria": 0,
             "load_seconds": time.perf_counter() - t0,
             "front_half_from_store": front_half_cached,
             "front_half_parts_hits": parts_hit,
@@ -181,6 +191,7 @@ class SlicingSession(object):
             "sats_adopted": 0,
             "discovery_seconds": 0.0,
         }
+        self._hold_compiled()
         if store is not None and self.source_hash is not None:
             # Cross-revision discovery: adopt saturations filed under
             # other revisions of this program (see
@@ -219,11 +230,13 @@ class SlicingSession(object):
         key = canonical_key(kind, payload, contexts)
 
         def compute():
-            a0 = self._query_automaton(kind, payload, contexts)
+            sat_key = saturation_key(SAT_PRESTAR, key)
+            a0 = self._pop_batch_query(sat_key)
+            if a0 is None:
+                a0 = self._query_automaton(kind, payload, contexts)
             # The saturation is memoized one layer below the result so
             # that a failure later in the pipeline (MRD/read-out) evicts
             # the result entry but keeps the saturation for the retry.
-            sat_key = saturation_key(SAT_PRESTAR, key)
             artifact = self._memoized(
                 "saturation",
                 sat_key,
@@ -243,7 +256,12 @@ class SlicingSession(object):
         return self._memoized("slice", key, compute)
 
     def slice_many(
-        self, criteria, contexts="reachable", max_workers=None, backend="thread"
+        self,
+        criteria,
+        contexts="reachable",
+        max_workers=None,
+        backend="thread",
+        batch_saturation=None,
     ):
         """The batch driver: slice each criterion, fanning independent
         queries out over a worker pool.  Duplicate criteria are computed
@@ -257,10 +275,23 @@ class SlicingSession(object):
         initializer and computes slices truly in parallel; results come
         back pickled and are installed in this session's memo.  The
         process backend needs the session's source text.
+
+        ``batch_saturation`` (default: the ``REPRO_BATCH_SATURATION``
+        environment knob, ``auto`` when unset) controls the fused
+        saturation path under the thread backend on the ``csr`` kernel:
+        criteria with no memoized or persisted answer are saturated in
+        *one* multi-criterion kernel pass
+        (:func:`repro.pds.prestar_many`) before the pool fans out, so
+        each PDS rule fires once for the whole batch instead of once
+        per criterion.  ``auto`` fuses when at least two criteria are
+        cold, ``on`` forces fusing, ``off`` disables it.  Results,
+        artifacts, memo entries, and store bytes are identical either
+        way.
         """
         criteria = list(criteria)
         if not criteria:
             return []
+        mode = kernelcfg.resolve_batch(batch_saturation)
         # Resolve each spec exactly once, up front: specs may be one-
         # shot iterables, and early validation beats a worker traceback.
         specs = [resolve_criterion_spec(self.sdg, c) for c in criteria]
@@ -268,6 +299,18 @@ class SlicingSession(object):
             return self._slice_many_process(specs, contexts, max_workers)
         if backend != "thread":
             raise ValueError("backend must be 'thread' or 'process'")
+        if mode != kernelcfg.BATCH_OFF and self.kernel == kernelcfg.CSR:
+            self._fused_batch(
+                [
+                    (canonical_key(kind, payload, contexts), kind, payload)
+                    for kind, payload in specs
+                ],
+                contexts,
+                mode,
+                SAT_PRESTAR,
+                "slice",
+                prestar_many,
+            )
         if max_workers is None:
             max_workers = min(len(criteria), os.cpu_count() or 1)
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
@@ -302,9 +345,12 @@ class SlicingSession(object):
         with a store) as its own :class:`SaturationArtifact`, so a
         repeated removal after an incremental update that dropped the
         rendered result still skips the saturation."""
+        kind, payload = self._feature_spec(feature)
+        return self._remove_feature_resolved(kind, payload, contexts)
+
+    def _remove_feature_resolved(self, kind, payload, contexts):
         from repro.core.feature_removal import remove_feature
 
-        kind, payload = self._feature_spec(feature)
         key = canonical_key(kind, payload, contexts)
 
         def compute():
@@ -313,8 +359,10 @@ class SlicingSession(object):
             # memo so it is shared, shipped, and persisted like any
             # other saturation.
             self.reachable_configs()
-            a_c = self._query_automaton(kind, payload, contexts)
             sat_key = saturation_key(SAT_POSTSTAR, key)
+            a_c = self._pop_batch_query(sat_key)
+            if a_c is None:
+                a_c = self._query_automaton(kind, payload, contexts)
             cone = self._memoized(
                 "saturation",
                 sat_key,
@@ -332,6 +380,43 @@ class SlicingSession(object):
             return result
 
         return self._memoized("feature", key, compute)
+
+    def remove_features_many(
+        self, features, contexts="reachable", batch_saturation=None
+    ):
+        """Batch driver for :meth:`remove_feature`: results in input
+        order, duplicates computed once.  On the ``csr`` kernel (unless
+        ``batch_saturation`` resolves to ``off``) the cold features'
+        forward-cone Poststars run as one fused multi-criterion pass
+        (:func:`repro.pds.poststar_many`) before the per-feature
+        removals — the cone analogue of the :meth:`slice_many` fused
+        path, with identical results and artifacts either way."""
+        features = list(features)
+        if not features:
+            return []
+        mode = kernelcfg.resolve_batch(batch_saturation)
+        specs = [self._feature_spec(feature) for feature in features]
+        if mode != kernelcfg.BATCH_OFF and self.kernel == kernelcfg.CSR:
+            # Algorithm 2 consults the reachable-configuration language
+            # in every contexts mode (remove_feature does this first);
+            # pull it in before the fused pass so the cone saturations
+            # batch cleanly.
+            self.reachable_configs()
+            self._fused_batch(
+                [
+                    (canonical_key(kind, payload, contexts), kind, payload)
+                    for kind, payload in specs
+                ],
+                contexts,
+                mode,
+                SAT_POSTSTAR,
+                "feature",
+                poststar_many,
+            )
+        return [
+            self._remove_feature_resolved(kind, payload, contexts)
+            for kind, payload in specs
+        ]
 
     def remove_feature_cleaned(self, feature, contexts="reachable"):
         """Feature removal followed by the §7 interprocedural
@@ -501,6 +586,145 @@ class SlicingSession(object):
         if contexts == "reachable":
             self.reachable_configs()
         return resolve_criterion(self.encoding, payload, contexts, kernel=self.kernel)
+
+    def _hold_compiled(self):
+        """Pin the compiled form of this front half's PDS on the
+        session (``csr`` kernel only): compilation happens here, once,
+        and every saturation — batched, single, or feature-cone — finds
+        it in the kernel's cache for as long as the session (and thus
+        the PDS object) lives.  Re-run by ``update_source`` when an
+        edit re-encodes the PDS; the hit/miss economics land in
+        ``kernel_compile_hits`` / ``kernel_compile_misses``."""
+        if self.kernel != kernelcfg.CSR:
+            self._compiled = None
+            return
+        from repro.pds.kernel import compiled_pds
+
+        sink = {}
+        self._compiled = compiled_pds(self.encoding.pds, sink)
+        self._absorb_kernel_stats(sink)
+
+    def _pop_batch_query(self, sat_key):
+        """Claim the query automaton a fused batch pass stashed for
+        this saturation key, if any — discarded (never reused) when an
+        ``update_source`` re-encoded the front half in between."""
+        with self._lock:
+            entry = self._batch_queries.pop(sat_key, None)
+        if entry is not None and entry[0] is self.encoding:
+            return entry[1]
+        return None
+
+    def _fused_batch(self, keyed_specs, contexts, mode, sat_kind, result_table, saturate_many):
+        """Saturate a batch's cold criteria in one fused kernel pass.
+
+        ``keyed_specs`` is ``[(canonical key, kind, payload), ...]``;
+        ``sat_kind``/``saturate_many`` pick the saturation
+        (Prestar for slices, Poststar for feature cones) and
+        ``result_table`` the memo table whose persisted entries make a
+        criterion warm.  The pass only *pre-fills* the saturation memo:
+        criteria already answered — a live future, or a persisted
+        result / saturation artifact in the store — are left for the
+        ordinary per-criterion path, with byte-identical artifacts and
+        the exact counter trace that path would produce.  Anything
+        fewer than two cold criteria (one, under ``mode="on"``) is not
+        worth a fused pass and falls through untouched.
+        """
+        candidates = {}  # saturation key -> (kind, payload)
+        for key, kind, payload in keyed_specs:
+            sat_key = saturation_key(sat_kind, key)
+            if sat_key not in candidates:
+                candidates[sat_key] = (key, kind, payload)
+        cold = {}
+        with self._lock:
+            for sat_key, (key, kind, payload) in candidates.items():
+                if (result_table, key) in self._futures:
+                    continue
+                if ("saturation", sat_key) in self._futures:
+                    continue
+                cold[sat_key] = (key, kind, payload)
+        if self.store is not None and self.source_hash is not None:
+            # A criterion whose *result* is persisted never saturates on
+            # the sequential path either — peek (no counters; the memo
+            # miss and persist hit are counted later, by the ordinary
+            # path) and leave it out of the fused pass.
+            for sat_key in list(cold):
+                key, kind, payload = cold[sat_key]
+                digest = self._persist_digest(result_table, key)
+                if digest is not None and self.store.has(
+                    self.source_hash, result_table, digest
+                ):
+                    del cold[sat_key]
+        if len(cold) < (1 if mode == kernelcfg.BATCH_ON else 2):
+            return
+        src_hash = self.source_hash
+        claimed = []
+        with self._lock:
+            for sat_key, (key, kind, payload) in cold.items():
+                full_key = ("saturation", sat_key)
+                if full_key in self._futures:
+                    continue
+                future = Future()
+                self._futures[full_key] = future
+                self._stats["saturation_misses"] += 1
+                claimed.append((sat_key, kind, payload, future))
+        if not claimed:
+            return
+        try:
+            # Warm ``__sats__`` artifacts answer without saturating,
+            # exactly as _saturation_through_store would.
+            pending = []
+            for sat_key, kind, payload, future in claimed:
+                digest = self._persist_digest(
+                    "saturation", sat_key, table_check=False
+                )
+                if digest is not None:
+                    value = self.store.get_sat(src_hash, digest)
+                    loaded = (
+                        isinstance(value, SaturationArtifact)
+                        and value.key == sat_key
+                    )
+                    with self._lock:
+                        self._stats[
+                            "sat_persist_hits" if loaded else "sat_persist_misses"
+                        ] += 1
+                    if loaded:
+                        future.set_result(value)
+                        continue
+                pending.append((sat_key, kind, payload, future, digest))
+            if not pending:
+                return
+            automata = []
+            for sat_key, kind, payload, future, digest in pending:
+                a0 = self._query_automaton(kind, payload, contexts)
+                automata.append(a0)
+                with self._lock:
+                    self._batch_queries[sat_key] = (self.encoding, a0)
+            sink = {}
+            saturated = saturate_many(
+                self.encoding.pds, automata, trim=True,
+                kernel=self.kernel, stats=sink,
+            )
+            self._absorb_kernel_stats(sink)
+            with self._lock:
+                self._stats["fused_batches"] += 1
+                self._stats["fused_criteria"] += len(pending)
+            for entry, automaton in zip(pending, saturated):
+                sat_key, kind, payload, future, digest = entry
+                artifact = self._make_artifact(sat_kind, sat_key, automaton)
+                if digest is not None:
+                    self.store.put_sat(src_hash, digest, artifact)
+                    self._index_filed(src_hash, digest, artifact)
+                future.set_result(artifact)
+        except BaseException as exc:
+            with self._lock:
+                for sat_key, kind, payload, future in claimed:
+                    if not future.done():
+                        self._futures.pop(("saturation", sat_key), None)
+                        self._batch_queries.pop(sat_key, None)
+            for sat_key, kind, payload, future in claimed:
+                if not future.done():
+                    future.set_exception(exc)
+            raise
 
     def _memoized(self, cache_kind, key, compute):
         """One-future-per-key memoization: the first submitter computes,

@@ -25,6 +25,16 @@ tests can flip it), overridden per session by
 ``repro.open_session(source, kernel=...)``.  This module is a leaf —
 no repro imports — so both :mod:`repro.fsa` and :mod:`repro.pds` can
 consult it without cycles.
+
+Batched saturation has its own knob, ``REPRO_BATCH_SATURATION``:
+whether ``SlicingSession.slice_many`` fuses the cold criteria of a
+batch into one multi-criterion kernel pass
+(:func:`repro.pds.kernel.prestar_many_csr`) instead of saturating them
+one by one.  ``auto`` (the default) fuses when the ``csr`` kernel is
+active and at least two criteria are cold; ``on`` forces the fused
+path even for a single cold criterion; ``off`` disables it.  The knob
+never changes results — fused projections are byte-identical to
+sequential runs — only how the work is scheduled.
 """
 
 import os
@@ -35,6 +45,15 @@ KERNELS = (OBJECT, CSR)
 
 #: environment knob consulted when no explicit kernel is passed
 ENV_VAR = "REPRO_KERNEL"
+
+
+BATCH_AUTO = "auto"
+BATCH_ON = "on"
+BATCH_OFF = "off"
+BATCH_MODES = (BATCH_AUTO, BATCH_ON, BATCH_OFF)
+
+#: environment knob for the fused multi-criterion saturation path
+BATCH_ENV_VAR = "REPRO_BATCH_SATURATION"
 
 
 def current_kernel():
@@ -55,3 +74,18 @@ def resolve_kernel(kernel):
             % (kernel, ", ".join(KERNELS))
         )
     return kernel
+
+
+def resolve_batch(mode):
+    """Validate an explicit batch-saturation mode, or fall back to the
+    ``REPRO_BATCH_SATURATION`` environment default (``auto`` when
+    unset).  Raises ``ValueError`` on unknown names, mirroring
+    :func:`resolve_kernel`."""
+    if mode is None:
+        mode = os.environ.get(BATCH_ENV_VAR) or BATCH_AUTO
+    if mode not in BATCH_MODES:
+        raise ValueError(
+            "unknown batch-saturation mode %r (expected one of %s)"
+            % (mode, ", ".join(BATCH_MODES))
+        )
+    return mode

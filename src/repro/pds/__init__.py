@@ -10,8 +10,8 @@
 """
 
 from repro.pds.encode import SDGEncoding, encode_sdg
-from repro.pds.poststar import poststar
-from repro.pds.prestar import prestar
+from repro.pds.poststar import poststar, poststar_many
+from repro.pds.prestar import prestar, prestar_many
 from repro.pds.system import PushdownSystem, Rule
 
 __all__ = [
@@ -20,5 +20,7 @@ __all__ = [
     "SDGEncoding",
     "encode_sdg",
     "poststar",
+    "poststar_many",
     "prestar",
+    "prestar_many",
 ]

@@ -42,13 +42,18 @@ import weakref
 from collections import deque
 
 from repro.fsa.automaton import EPSILON
-from repro.fsa.intcodec import assemble_automaton, iter_bits
+from repro.fsa.intcodec import decode_packed_rows, iter_bits, trim_packed_rows
+from repro.fsa.intops import eliminate_epsilon_rows
 
 #: process-wide kernel counters (diagnostics; ``repro cache stats
 #: --json`` and the benchmarks read session-level copies instead).
+#: ``compile_hits``/``compile_misses`` count how often a saturation
+#: found its PDS already compiled versus had to compile it.
 KERNEL_TOTALS = {
     "rules_compiled": 0,
     "worklist_pops": 0,
+    "compile_hits": 0,
+    "compile_misses": 0,
 }
 
 
@@ -172,25 +177,41 @@ _COMPILED = weakref.WeakKeyDictionary()
 
 def compiled_pds(pds, stats=None):
     """The compiled form of ``pds``, built on first use and cached for
-    the PDS object's lifetime."""
+    the PDS object's lifetime.  Every lookup is counted
+    (``compile_hits``/``compile_misses`` in :data:`KERNEL_TOTALS` and,
+    with a ``stats`` sink, ``kernel_compile_hits``/``_misses``), so the
+    one-compile-per-PDS economics are observable end to end."""
     comp = _COMPILED.get(pds)
     if comp is None:
         comp = CompiledPDS(pds)
         _COMPILED[pds] = comp
         KERNEL_TOTALS["rules_compiled"] += comp.rule_count
+        KERNEL_TOTALS["compile_misses"] += 1
         if stats is not None:
             stats["kernel_rules_compiled"] = (
                 stats.get("kernel_rules_compiled", 0) + comp.rule_count
             )
+            stats["kernel_compile_misses"] = (
+                stats.get("kernel_compile_misses", 0) + 1
+            )
+    else:
+        KERNEL_TOTALS["compile_hits"] += 1
+        if stats is not None:
+            stats["kernel_compile_hits"] = (
+                stats.get("kernel_compile_hits", 0) + 1
+            )
     return comp
 
 
-def _call_tables(comp, automaton, with_mids):
-    """Per-call state/symbol tables: the compiled ids extended with the
-    query automaton's states and any symbols outside the PDS alphabet
-    (foreign symbols never match a rule — the packed lookups are gated
-    on ``sym < nsyms`` — but flow through the fixpoint like any
-    other)."""
+def _batch_tables(comp, automata, with_mids):
+    """Shared per-call state/symbol tables over a *batch* of query
+    automata: the compiled ids extended with every automaton's states
+    and any symbols outside the PDS alphabet (foreign symbols never
+    match a rule — the packed lookups are gated on ``sym < nsyms`` —
+    but flow through the fixpoint like any other).  Criteria that share
+    state objects (the common final state, Poststar-view product
+    states) share ids, which is exactly the overlap the fused
+    saturations exploit."""
     state_index = dict(comp.loc_index)
     state_list = list(comp.loc_list)
     if with_mids:
@@ -199,73 +220,21 @@ def _call_tables(comp, automaton, with_mids):
             state_list.append(mid)
     sym_index = dict(comp.sym_index)
     sym_list = list(comp.sym_list)
-    for state in automaton.states:
-        if state not in state_index:
-            state_index[state] = len(state_list)
-            state_list.append(state)
-    for _src, symbol, _dst in automaton.transitions():
-        if symbol not in sym_index:
-            sym_index[symbol] = len(sym_list)
-            sym_list.append(symbol)
+    for automaton in automata:
+        for state in automaton.states:
+            if state not in state_index:
+                state_index[state] = len(state_list)
+                state_list.append(state)
+        for _src, symbol, _dst in automaton.transitions():
+            if symbol not in sym_index:
+                sym_index[symbol] = len(sym_list)
+                sym_list.append(symbol)
     return state_index, state_list, sym_index, sym_list
 
 
-def _decode(
-    state_list, sym_list, out_rows, eps_out, initials_bits, finals_bits, keep
-):
-    """Rebuild a :class:`FiniteAutomaton` from packed saturation rows,
-    restricted to the ``keep`` state bitset."""
-    triples = []
-    for sid in iter_bits(keep):
-        src = state_list[sid]
-        for sym, bits in out_rows[sid].items():
-            symbol = sym_list[sym]
-            for dst in iter_bits(bits & keep):
-                triples.append((src, symbol, state_list[dst]))
-        if eps_out is not None and eps_out[sid]:
-            for dst in iter_bits(eps_out[sid] & keep):
-                triples.append((src, EPSILON, state_list[dst]))
-    return assemble_automaton(
-        [state_list[sid] for sid in iter_bits(keep)],
-        [state_list[sid] for sid in iter_bits(initials_bits & keep)],
-        [state_list[sid] for sid in iter_bits(finals_bits & keep)],
-        triples,
-    )
-
-
-def _trim_mask(out_rows, initials_bits, finals_bits, present):
-    """Useful-part bitset over packed rows (the int form of
-    :meth:`FiniteAutomaton.trim`)."""
-    forward = 0
-    todo = initials_bits & present
-    while todo:
-        low = todo & -todo
-        todo ^= low
-        if forward & low:
-            continue
-        forward |= low
-        succ = 0
-        for bits in out_rows[low.bit_length() - 1].values():
-            succ |= bits
-        todo |= succ & present & ~forward
-    rin = {}
-    for sid in iter_bits(forward):
-        succ = 0
-        for bits in out_rows[sid].values():
-            succ |= bits
-        low = 1 << sid
-        for dst in iter_bits(succ & forward):
-            rin[dst] = rin.get(dst, 0) | low
-    backward = 0
-    todo = finals_bits & forward
-    while todo:
-        low = todo & -todo
-        todo ^= low
-        if backward & low:
-            continue
-        backward |= low
-        todo |= rin.get(low.bit_length() - 1, 0) & ~backward
-    return forward & backward
+def _call_tables(comp, automaton, with_mids):
+    """Per-call tables for a single query automaton."""
+    return _batch_tables(comp, (automaton,), with_mids)
 
 
 def _count_pops(stats, pops):
@@ -393,36 +362,14 @@ def poststar_csr(pds, automaton, trim=False, stats=None):
     for state in automaton.initials:
         initials_bits |= 1 << state_index[state]
     if eps_rel:
-        closed_rows = [None] * nq
-        closed_finals = finals_bits
-        for sid in iter_bits(present):
-            bit = 1 << sid
-            closure = bit
-            todo = eps_out[sid]
-            while todo:
-                low = todo & -todo
-                todo ^= low
-                if closure & low:
-                    continue
-                closure |= low
-                todo |= eps_out[low.bit_length() - 1] & ~closure
-            if closure & finals_bits:
-                closed_finals |= bit
-            if closure == bit:
-                closed_rows[sid] = out_rows[sid]
-                continue
-            row = dict(out_rows[sid])
-            for mid in iter_bits(closure ^ bit):
-                for sym, bits in out_rows[mid].items():
-                    row[sym] = row.get(sym, 0) | bits
-            closed_rows[sid] = row
-        out_rows = closed_rows
-        finals_bits = closed_finals
+        out_rows, finals_bits = eliminate_epsilon_rows(
+            out_rows, eps_out, present, finals_bits
+        )
 
     keep = present
     if trim:
-        keep = _trim_mask(out_rows, initials_bits, finals_bits, present)
-    return _decode(
+        keep = trim_packed_rows(out_rows, initials_bits, finals_bits, present)
+    return decode_packed_rows(
         state_list, sym_list, out_rows, None, initials_bits, finals_bits, keep
     )
 
@@ -504,7 +451,350 @@ def prestar_csr(pds, automaton, trim=False, stats=None):
     present = (1 << nq) - 1 if nq else 0
     keep = present
     if trim:
-        keep = _trim_mask(out_rows, initials_bits, finals_bits, present)
-    return _decode(
+        keep = trim_packed_rows(out_rows, initials_bits, finals_bits, present)
+    return decode_packed_rows(
         state_list, sym_list, out_rows, None, initials_bits, finals_bits, keep
     )
+
+
+# -- fused multi-criterion saturation ----------------------------------------------
+#
+# A batch of N criteria saturates against ONE pushdown system; running
+# prestar_csr N times re-fires every rule once per criterion even
+# though the expensive part — the rule lookups and the worklist churn —
+# is identical across the batch wherever the criteria's automata
+# overlap (and they overlap a lot: every criterion shares the control
+# locations, the common final state, and — in reachable-contexts mode —
+# the Poststar-view product states).  The fused forms below run one
+# worklist over the whole batch: every transition carries a
+# *criterion-membership bitset* (bit i set ⟺ the transition belongs to
+# criterion i's fixpoint), seeded from each criterion's query automaton
+# with its own bit (and, for Prestar's pop-rule seeds, with the full
+# mask — pop seeds start every sequential run).  Rule firing intersects
+# the memberships of its premise transitions, so a conclusion is
+# derived for exactly the criteria whose sequential runs would derive
+# it; the worklist is semi-naive (items are ``(transition, new bits)``
+# deltas, a transition re-enters only when its membership grows), so
+# the pass does the work of the *union* of the N fixpoints instead of
+# their sum.
+#
+# Correctness (why projecting bit i is byte-identical to run i): by
+# induction over derivations, a transition has bit i iff criterion i's
+# sequential saturation derives it — seeds trivially, and every rule
+# firing intersects premise bits exactly as the sequential run requires
+# both premises to exist.  Every bit-i transition's endpoints lie in
+# ``control locations ∪ A_i.states`` (∪ the touched mid states for
+# Poststar), which is precisely the sequential run's state table, so
+# restricting decode to those states loses nothing.  The projections
+# then trim and decode through the very same helpers
+# (:func:`repro.fsa.intcodec.trim_packed_rows` /
+# :func:`decode_packed_rows`, and
+# :func:`repro.fsa.intops.eliminate_epsilon_rows` for Poststar) the
+# single-criterion saturations use — pinned by
+# ``tests/test_batched_saturation.py``.
+
+
+def prestar_many_csr(pds, automata, trim=False, stats=None):
+    """Fused int-kernel ``pre*`` for a batch of query automata: one
+    worklist pass over one :class:`CompiledPDS`, membership bitsets per
+    transition (see the section comment above).  Returns one automaton
+    per input, each structurally identical to
+    ``prestar_csr(pds, automata[i], trim=trim)``."""
+    automata = list(automata)
+    if not automata:
+        return []
+    comp = compiled_pds(pds, stats)
+    nlocs = comp.nlocs
+    nsyms = comp.nsyms
+    state_index, state_list, sym_index, sym_list = _batch_tables(
+        comp, automata, with_mids=False
+    )
+    nq = len(state_list)
+    ns = len(sym_list)
+    n = len(automata)
+    full = (1 << n) - 1
+
+    trans = deque()
+    for i, automaton in enumerate(automata):
+        bit = 1 << i
+        for src, symbol, dst in automaton.transitions():
+            trans.append(
+                (
+                    (state_index[src] * ns + sym_index[symbol]) * nq
+                    + state_index[dst],
+                    bit,
+                )
+            )
+    for lhs, p2 in comp.pop_rules:
+        # <p,γ> ↪ <p',ε> seeds every sequential run: full mask.
+        p, gamma = divmod(lhs, nsyms)
+        trans.append(((p * ns + gamma) * nq + p2, full))
+
+    done = {}  # packed transition code -> processed criterion bitset
+    by_head = {}  # packed (q * ns + γ) -> {target: processed bits}
+    pending = {}  # packed (q1 * ns + γ2) -> {lhs head: premise-1 bits}
+    internal_rows = comp.internal_rows
+    push_rows = comp.push_rows
+    pops = 0
+
+    while trans:
+        pops += 1
+        code, bits = trans.popleft()
+        have = done.get(code, 0)
+        new = bits & ~have
+        if not new:
+            continue
+        done[code] = have | new
+        q1 = code % nq
+        head = code // nq
+        row = by_head.get(head)
+        if row is None:
+            row = by_head[head] = {}
+        row[q1] = row.get(q1, 0) | new
+        q = head // ns
+        if q < nlocs:
+            sym = head - q * ns
+            if sym < nsyms:
+                rhs = q * nsyms + sym
+                # Internal rules <p,γp> ↪ <q,γ>: (p, γp, q1) inherits
+                # exactly the delta bits.
+                for lhs in internal_rows.get(rhs, ()):
+                    p, gamma = divmod(lhs, nsyms)
+                    trans.append(((p * ns + gamma) * nq + q1, new))
+                # Push rules <p,γp> ↪ <q,γ γ2>: need q1 -γ2-> q2 *in
+                # the same criterion* — the conclusion's membership is
+                # the intersection of the two premises'.
+                for lhs, gamma2 in push_rows.get(rhs, ()):
+                    p, gamma = divmod(lhs, nsyms)
+                    lhs_head = p * ns + gamma
+                    key = q1 * ns + gamma2
+                    partial = pending.get(key)
+                    if partial is None:
+                        partial = pending[key] = {}
+                    partial[lhs_head] = partial.get(lhs_head, 0) | new
+                    partner = by_head.get(key)
+                    if partner:
+                        lhs_base = lhs_head * nq
+                        for q2, m2 in partner.items():
+                            m = new & m2
+                            if m:
+                                trans.append((lhs_base + q2, m))
+        # This delta may complete earlier partial push matches.
+        partial = pending.get(head)
+        if partial:
+            for lhs_head, m1 in partial.items():
+                m = m1 & new
+                if m:
+                    trans.append((lhs_head * nq + q1, m))
+    _count_pops(stats, pops)
+
+    # Project: distribute the fused fixpoint into per-criterion rows.
+    rows_all = [[{} for _ in range(nq)] for _ in range(n)]
+    for code, bits in done.items():
+        q1 = code % nq
+        head = code // nq
+        q = head // ns
+        sym = head - q * ns
+        target = 1 << q1
+        for i in iter_bits(bits):
+            row = rows_all[i][q]
+            row[sym] = row.get(sym, 0) | target
+    locs_bits = (1 << nlocs) - 1 if nlocs else 0
+    results = []
+    for i, automaton in enumerate(automata):
+        # Criterion i's state table is the sequential run's: control
+        # locations plus its own query states.
+        present = locs_bits
+        initials_bits = locs_bits
+        finals_bits = 0
+        for state in automaton.states:
+            present |= 1 << state_index[state]
+        for state in automaton.initials:
+            initials_bits |= 1 << state_index[state]
+        for state in automaton.finals:
+            finals_bits |= 1 << state_index[state]
+        out_rows = rows_all[i]
+        keep = present
+        if trim:
+            keep = trim_packed_rows(out_rows, initials_bits, finals_bits, present)
+        results.append(
+            decode_packed_rows(
+                state_list, sym_list, out_rows, None,
+                initials_bits, finals_bits, keep,
+            )
+        )
+    return results
+
+
+def poststar_many_csr(pds, automata, trim=False, stats=None):
+    """Fused int-kernel ``post*`` for a batch of query automata (the
+    feature-cone sibling of :func:`prestar_many_csr`): one worklist,
+    membership bitsets on both the ordinary and the epsilon
+    transitions.  Returns one epsilon-free automaton per input, each
+    structurally identical to ``poststar_csr(pds, automata[i],
+    trim=trim)``."""
+    automata = list(automata)
+    if not automata:
+        return []
+    comp = compiled_pds(pds, stats)
+    nlocs = comp.nlocs
+    nsyms = comp.nsyms
+    state_index, state_list, sym_index, sym_list = _batch_tables(
+        comp, automata, with_mids=True
+    )
+    nq = len(state_list)
+    ns = len(sym_list)
+    base = ns * nq
+    n = len(automata)
+
+    trans = deque()
+    for i, automaton in enumerate(automata):
+        bit = 1 << i
+        for src, symbol, dst in automaton.transitions():
+            if symbol is EPSILON:
+                raise ValueError(
+                    "poststar requires an epsilon-free query automaton"
+                )
+            trans.append(
+                (
+                    (state_index[src] * ns + sym_index[symbol]) * nq
+                    + state_index[dst],
+                    bit,
+                )
+            )
+
+    done = {}  # packed transition code -> processed criterion bitset
+    eps_done = {}  # packed (p1 * nq + q) epsilon code -> processed bits
+    by_source = {}  # src id -> {tail (sym * nq + dst): bits}
+    eps_into = {}  # dst id -> {eps source: bits}
+    post_rows = comp.post_rows
+    rule_kind = comp.rule_kind
+    rule_p2 = comp.rule_p2
+    rule_w0 = comp.rule_w0
+    rule_w1 = comp.rule_w1
+    rule_mid = comp.rule_mid
+    pops = 0
+
+    while trans:
+        pops += 1
+        code, bits = trans.popleft()
+        if code >= 0:
+            have = done.get(code, 0)
+            new = bits & ~have
+            if not new:
+                continue
+            done[code] = have | new
+            q = code % nq
+            head = code // nq
+            p = head // ns
+            tail = code - p * base
+            bucket = by_source.get(p)
+            if bucket is None:
+                bucket = by_source[p] = {}
+            bucket[tail] = bucket.get(tail, 0) | new
+            # Epsilon transitions already pointing at ``p`` skip over
+            # it — for the criteria both premises belong to.
+            sources = eps_into.get(p)
+            if sources:
+                for p1, m1 in sources.items():
+                    m = m1 & new
+                    if m:
+                        trans.append((p1 * base + tail, m))
+            if p < nlocs:
+                sym = head - p * ns
+                if sym < nsyms:
+                    row = post_rows.get(p * nsyms + sym)
+                    if row is not None:
+                        for r in range(row[0], row[1]):
+                            kind = rule_kind[r]
+                            p2 = rule_p2[r]
+                            if kind == 0:  # pop: (p2, ε, q)
+                                trans.append((-(p2 * nq + q) - 1, new))
+                            elif kind == 1:  # internal: (p2, w0, q)
+                                trans.append(
+                                    (p2 * base + rule_w0[r] * nq + q, new)
+                                )
+                            else:  # push: via the mid state
+                                qmid = rule_mid[r]
+                                trans.append(
+                                    (p2 * base + rule_w0[r] * nq + qmid, new)
+                                )
+                                trans.append(
+                                    (qmid * base + rule_w1[r] * nq + q, new)
+                                )
+        else:
+            ecode = -code - 1
+            have = eps_done.get(ecode, 0)
+            new = bits & ~have
+            if not new:
+                continue
+            eps_done[ecode] = have | new
+            q = ecode % nq
+            p1 = ecode // nq
+            sources = eps_into.get(q)
+            if sources is None:
+                sources = eps_into[q] = {}
+            sources[p1] = sources.get(p1, 0) | new
+            bucket = by_source.get(q)
+            if bucket:
+                for tail, m2 in bucket.items():
+                    m = new & m2
+                    if m:
+                        trans.append((p1 * base + tail, m))
+    _count_pops(stats, pops)
+
+    # Project: per-criterion rows, epsilon rows, and present sets (a
+    # mid state is present for criterion i only if run i touched it —
+    # exactly the sequential state-set rule).
+    locs_bits = (1 << nlocs) - 1 if nlocs else 0
+    rows_all = [[{} for _ in range(nq)] for _ in range(n)]
+    eps_all = [[0] * nq for _ in range(n)]
+    present_all = [locs_bits] * n
+    has_eps = [False] * n
+    for code, bits in done.items():
+        q = code % nq
+        head = code // nq
+        p = head // ns
+        sym = head - p * ns
+        endpoints = (1 << p) | (1 << q)
+        target = 1 << q
+        for i in iter_bits(bits):
+            row = rows_all[i][p]
+            row[sym] = row.get(sym, 0) | target
+            present_all[i] |= endpoints
+    for ecode, bits in eps_done.items():
+        q = ecode % nq
+        p = ecode // nq
+        endpoints = (1 << p) | (1 << q)
+        target = 1 << q
+        for i in iter_bits(bits):
+            eps_all[i][p] |= target
+            present_all[i] |= endpoints
+            has_eps[i] = True
+
+    results = []
+    for i, automaton in enumerate(automata):
+        present = present_all[i]
+        initials_bits = locs_bits
+        finals_bits = 0
+        for state in automaton.states:
+            present |= 1 << state_index[state]
+        for state in automaton.initials:
+            initials_bits |= 1 << state_index[state]
+        for state in automaton.finals:
+            finals_bits |= 1 << state_index[state]
+        out_rows = rows_all[i]
+        if has_eps[i]:
+            out_rows, finals_bits = eliminate_epsilon_rows(
+                out_rows, eps_all[i], present, finals_bits
+            )
+        keep = present
+        if trim:
+            keep = trim_packed_rows(out_rows, initials_bits, finals_bits, present)
+        results.append(
+            decode_packed_rows(
+                state_list, sym_list, out_rows, None,
+                initials_bits, finals_bits, keep,
+            )
+        )
+    return results

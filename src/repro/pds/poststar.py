@@ -126,3 +126,23 @@ def poststar(pds, automaton, trim=False, kernel=None, stats=None):
         result.add_transition(p, EPSILON, q)
     result = remove_epsilon(result, kernel=kernelcfg.OBJECT)
     return result.trim() if trim else result
+
+
+def poststar_many(pds, automata, trim=False, kernel=None, stats=None):
+    """Saturate a batch of query automata against one ``pds`` (the
+    feature-cone sibling of :func:`repro.pds.prestar.prestar_many`).
+
+    Under the ``csr`` kernel this runs the fused multi-criterion
+    saturation (:func:`repro.pds.kernel.poststar_many_csr`); the object
+    kernel falls back to one :func:`poststar` per automaton.  The result
+    list is positionally aligned with ``automata`` and each element is
+    structurally identical to the corresponding single-criterion call.
+    """
+    if kernelcfg.resolve_kernel(kernel) == kernelcfg.CSR:
+        from repro.pds.kernel import poststar_many_csr
+
+        return poststar_many_csr(pds, automata, trim=trim, stats=stats)
+    return [
+        poststar(pds, automaton, trim=trim, kernel=kernelcfg.OBJECT, stats=stats)
+        for automaton in automata
+    ]

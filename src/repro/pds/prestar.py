@@ -100,3 +100,24 @@ def prestar(pds, automaton, trim=False, kernel=None, stats=None):
     for (q, gamma, q1) in rel:
         result.add_transition(q, gamma, q1)
     return result.trim() if trim else result
+
+
+def prestar_many(pds, automata, trim=False, kernel=None, stats=None):
+    """Saturate a batch of query automata against one ``pds``.
+
+    Under the ``csr`` kernel this runs the *fused* multi-criterion
+    saturation (:func:`repro.pds.kernel.prestar_many_csr`): one worklist
+    pass with criterion-membership bitsets, sharing every rule lookup
+    across the batch.  The object kernel has no fused form — it falls
+    back to one :func:`prestar` per automaton.  Either way the result
+    list is positionally aligned with ``automata`` and each element is
+    structurally identical to the corresponding single-criterion call.
+    """
+    if kernelcfg.resolve_kernel(kernel) == kernelcfg.CSR:
+        from repro.pds.kernel import prestar_many_csr
+
+        return prestar_many_csr(pds, automata, trim=trim, stats=stats)
+    return [
+        prestar(pds, automaton, trim=trim, kernel=kernelcfg.OBJECT, stats=stats)
+        for automaton in automata
+    ]

@@ -114,6 +114,12 @@ _SAT_INDEX = "idx"
 #: the lifetime-counter sidecar, kept in __sats__ under a non-entry
 #: name (never evicted, invisible to _entries, removed only by clear())
 _META_NAME = "meta"
+#: the inverted revision index sidecar (same non-entry treatment):
+#: content key -> revision hashes, and layout shape signature ->
+#: revision hashes, so cross-revision discovery consults only the
+#: revisions that can possibly donate instead of scanning every
+#: ``idx-<hash>.slc`` in the store
+_KEYMAP_NAME = "keymap"
 #: orphaned temp files older than this are swept during eviction/clear
 _TMP_GRACE_SECONDS = 60
 
@@ -240,6 +246,16 @@ class SliceStore(object):
         self._count("stores")
         self._note_written(written)
 
+    def has(self, src_hash, table, key_digest):
+        """Whether a *plausibly valid* entry exists for ``(program,
+        table, criterion)`` — the generic-table twin of
+        :meth:`has_program`.  Only the header (magic + version) is
+        checked, nothing is deserialized, and no hit/miss counter
+        moves: this is a peek (the fused batch path uses it to leave
+        persisted criteria to the ordinary memo path, whose own lookup
+        does the counting)."""
+        return self._has_valid_header(self._entry_path(src_hash, table, key_digest))
+
     # -- the front-half bundle -------------------------------------------------
 
     def get_program(self, src_hash):
@@ -361,8 +377,134 @@ class SliceStore(object):
             if records:
                 index["artifacts"].update(records)
             written = self._write(self._sat_index_path(src_hash), index)
+            if layout:
+                self._keymap_register(src_hash, index["layout"])
         self._note_written(written)
         return index
+
+    @staticmethod
+    def layout_signature(layout):
+        """The shape signature of a procedure layout: a digest over
+        everything *except* the content keys — procedure names, shape
+        digests, vertex ids, call-site labels, in program order.  Two
+        revisions are fast-equivalent with zero shared content keys
+        exactly when a label edit touched every procedure, and then
+        their shape signatures are equal — the second dimension the
+        inverted keymap indexes revisions by, so such donors stay
+        discoverable without a full index scan."""
+        try:
+            projected = tuple(
+                (name, shape, tuple(vids), tuple(sites))
+                for name, _key, shape, vids, sites in layout
+            )
+        except (TypeError, ValueError):
+            return None
+        return hashlib.sha256(repr(projected).encode("utf-8")).hexdigest()
+
+    def sat_indexes_for(self, content_keys, shape_sig):
+        """The readable ``(src_hash, index)`` pairs worth consulting
+        for a revision with the given content keys and layout shape
+        signature, most recently touched first — the exact candidate
+        set of :meth:`sat_indexes` restricted through the inverted
+        keymap.  Exactness: a donor adoptable by footprint subset
+        shares a content key with the asker (footprints are nonempty
+        subsets of both layouts' key sets), and a fast-equivalent donor
+        either shares a key or matches the shape signature; either way
+        it is in the candidate set.  When the keymap sidecar is missing
+        or unreadable (an older store, a crashed writer) this falls
+        back to the full scan and rebuilds the sidecar from what it
+        finds."""
+        with self._index_lock:
+            keymap = self._read_keymap()
+        if keymap is None:
+            result = self.sat_indexes()
+            with self._index_lock:
+                self._rebuild_keymap(result)
+            return result
+        candidates = set()
+        keys_dim = keymap.get("keys") or {}
+        for content_key in content_keys:
+            candidates.update(keys_dim.get(content_key, ()))
+        if shape_sig is not None:
+            candidates.update((keymap.get("shapes") or {}).get(shape_sig, ()))
+        found = []
+        for src_hash in candidates:
+            path = self._sat_index_path(src_hash)
+            try:
+                mtime = os.stat(path).st_mtime
+            except OSError:
+                continue
+            found.append((mtime, src_hash))
+        found.sort(reverse=True)
+        result = []
+        for _mtime, src_hash in found:
+            index = self.get_sat_index(src_hash)
+            if index is not None:
+                result.append((src_hash, index))
+        return result
+
+    def _keymap_path(self):
+        return os.path.join(self.cache_dir, _SATS_DIR, _KEYMAP_NAME)
+
+    def _read_keymap(self):
+        """The keymap sidecar, or None when absent/corrupt.  Caller
+        holds ``_index_lock``."""
+        value, _ok = self._read(self._keymap_path())
+        if isinstance(value, dict) and "keys" in value and "shapes" in value:
+            return value
+        return None
+
+    def _keymap_register(self, src_hash, layout):
+        """Point the keymap at a revision under every content key of
+        its layout and under its shape signature; no-op (and no write)
+        when every pointer is already present.  Caller holds
+        ``_index_lock``."""
+        if not layout:
+            return
+        keymap = self._read_keymap()
+        if keymap is None:
+            keymap = {"keys": {}, "shapes": {}}
+        changed = False
+        keys_dim = keymap["keys"]
+        for entry in layout:
+            try:
+                content_key = entry[1]
+            except (TypeError, IndexError):
+                continue
+            hashes = keys_dim.setdefault(content_key, [])
+            if src_hash not in hashes:
+                hashes.append(src_hash)
+                changed = True
+        shape_sig = self.layout_signature(layout)
+        if shape_sig is not None:
+            hashes = keymap["shapes"].setdefault(shape_sig, [])
+            if src_hash not in hashes:
+                hashes.append(src_hash)
+                changed = True
+        if changed:
+            self._write(self._keymap_path(), keymap)
+
+    def _rebuild_keymap(self, indexes):
+        """Rewrite the keymap sidecar from a full ``(src_hash, index)``
+        listing — self-healing after corruption, version upgrades, and
+        the compaction walk's index GC.  Caller holds ``_index_lock``."""
+        keymap = {"keys": {}, "shapes": {}}
+        for src_hash, index in indexes:
+            layout = index.get("layout") or ()
+            for entry in layout:
+                try:
+                    content_key = entry[1]
+                except (TypeError, IndexError):
+                    continue
+                hashes = keymap["keys"].setdefault(content_key, [])
+                if src_hash not in hashes:
+                    hashes.append(src_hash)
+            shape_sig = self.layout_signature(layout)
+            if shape_sig is not None:
+                hashes = keymap["shapes"].setdefault(shape_sig, [])
+                if src_hash not in hashes:
+                    hashes.append(src_hash)
+        self._write(self._keymap_path(), keymap)
 
     def sat_indexes(self):
         """Every readable ``(src_hash, index)`` pair, most recently
@@ -403,6 +545,7 @@ class SliceStore(object):
                 removed += 1
         self._sweep_stale_temp()
         _unlink_quiet(self._meta_path())
+        _unlink_quiet(self._keymap_path())
         for name in _listdir(self.cache_dir):
             _rmdir(os.path.join(self.cache_dir, name))
         with self._lock:
@@ -612,6 +755,7 @@ class SliceStore(object):
                 live.add(name[len("sat-"):-len(_SUFFIX)])
         sat_tiers = {}
         pruned = 0
+        dropped_index = False
         for src_hash, index in self.sat_indexes():
             artifacts = index.get("artifacts") or {}
             stale = []
@@ -631,10 +775,16 @@ class SliceStore(object):
                 # with: the index is dead weight, even if it was
                 # already empty before this walk.
                 self._unlink(self._sat_index_path(src_hash))
+                dropped_index = True
             elif stale:
                 # Rewrite directly (no _note_written: we are inside the
                 # compaction walk already).
                 self._write(self._sat_index_path(src_hash), index)
+        if dropped_index:
+            # Dead revisions must leave the inverted keymap too, or
+            # discovery would keep stat-ing their unlinked indexes.
+            with self._index_lock:
+                self._rebuild_keymap(self.sat_indexes())
         if pruned:
             with self._lock:
                 self._counters["gc_index_pruned"] += pruned

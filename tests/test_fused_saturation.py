@@ -1,0 +1,434 @@
+"""Fused multi-criterion saturation: byte identity with sequential runs.
+
+The batched kernels (:func:`repro.pds.kernel.prestar_many_csr`,
+:func:`repro.pds.kernel.poststar_many_csr`) promise that one worklist
+pass over criterion-membership bitsets projects, per criterion, an
+automaton *payload-identical* to the criterion's own sequential run —
+and the engine's fused batch path promises the same for everything
+downstream: slices, closure elements, version counts, saturation
+artifacts and their ``__sats__`` digests.  This suite pins both layers:
+
+* kernel differential over the 26-program corpus (the same generator
+  settings as :mod:`tests.test_kernel_differential`) and both contexts
+  modes, sharing one query-automaton object per criterion so the
+  comparison is exact;
+* properties: a singleton batch equals the plain saturation, batch
+  order never leaks into any projection, the object kernel falls back
+  to per-criterion runs;
+* session differential: fused-on vs fused-off sessions byte-identical
+  in results and persisted ``__sats__`` bytes; warm stores skip the
+  fused pass entirely; ``remove_features_many`` matches per-feature
+  ``remove_feature``;
+* the gating knob (``REPRO_BATCH_SATURATION`` / ``--batch-saturation``)
+  and the store's inverted keymap sidecar.
+
+``repro.open_session`` memoizes sessions by source hash; every test
+that needs *independent* sessions builds :class:`SlicingSession`
+directly.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.engine import SlicingSession
+from repro.engine.canonical import stable_key_digest
+from repro.fsa.serialize import automaton_to_payload
+from repro.lang import pretty
+from repro.pds import poststar, poststar_many, prestar, prestar_many
+from repro.pds.kernel import (
+    poststar_csr,
+    poststar_many_csr,
+    prestar_csr,
+    prestar_many_csr,
+)
+from repro.workloads.generator import GenConfig, generate_program
+from repro.workloads.wc import scaled_wc_source
+from repro import kernelcfg
+
+N_PROGRAMS = 26
+MAX_CRITERIA = 4
+
+
+def _source(seed):
+    program, _info = generate_program(GenConfig(seed=seed, n_procs=3))
+    return pretty(program)
+
+
+def _criteria(session):
+    prints = len(session.sdg.print_call_vertices())
+    criteria = [("print", index) for index in range(min(prints, MAX_CRITERIA))]
+    criteria.append("prints")
+    return criteria
+
+
+def _queries(session, contexts):
+    """One query automaton *object* per criterion, shared between the
+    fused and the sequential runs under comparison."""
+    from repro.engine.canonical import resolve_criterion_spec
+
+    automata = []
+    for criterion in _criteria(session):
+        kind, payload = resolve_criterion_spec(session.sdg, criterion)
+        automata.append(session._query_automaton(kind, payload, contexts))
+    return automata
+
+
+def _payloads(automata):
+    return [automaton_to_payload(a) for a in automata]
+
+
+def _sat_digests(session):
+    digests = {}
+    with session._lock:
+        futures = dict(session._futures)
+    for (cache_kind, key), future in futures.items():
+        if cache_kind != "saturation" or not future.done():
+            continue
+        artifact = future.result()
+        digests[stable_key_digest(key)] = (
+            artifact.kind,
+            automaton_to_payload(artifact.automaton),
+            artifact.footprint,
+        )
+    return digests
+
+
+# -- kernel-level differential -----------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(N_PROGRAMS))
+@pytest.mark.parametrize("contexts", ["reachable", "empty"])
+def test_fused_kernels_match_sequential_on_corpus(seed, contexts):
+    session = SlicingSession(_source(seed), kernel="csr")
+    pds = session.encoding.pds
+    automata = _queries(session, contexts)
+    for trim in (False, True):
+        tag = (seed, contexts, trim)
+        fused = prestar_many_csr(pds, automata, trim=trim)
+        solo = [prestar_csr(pds, a, trim=trim) for a in automata]
+        assert _payloads(fused) == _payloads(solo), tag
+        fused = poststar_many_csr(pds, automata, trim=trim)
+        solo = [poststar_csr(pds, a, trim=trim) for a in automata]
+        assert _payloads(fused) == _payloads(solo), tag
+
+
+@pytest.mark.parametrize("seed", range(0, N_PROGRAMS, 5))
+def test_fused_kernels_match_object_kernel(seed):
+    """Transitively with the csr-vs-object differential, but pinned
+    directly: the fused projections equal the *object* worklists too."""
+    session = SlicingSession(_source(seed), kernel="csr")
+    pds = session.encoding.pds
+    automata = _queries(session, "reachable")
+    assert _payloads(prestar_many_csr(pds, automata, trim=True)) == _payloads(
+        [prestar(pds, a, trim=True, kernel="object") for a in automata]
+    )
+    assert _payloads(poststar_many_csr(pds, automata, trim=True)) == _payloads(
+        [poststar(pds, a, trim=True, kernel="object") for a in automata]
+    )
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("seed", range(6))
+def test_singleton_batch_is_the_plain_saturation(seed):
+    session = SlicingSession(_source(seed), kernel="csr")
+    pds = session.encoding.pds
+    for automaton in _queries(session, "reachable"):
+        (fused,) = prestar_many_csr(pds, [automaton], trim=True)
+        assert automaton_to_payload(fused) == automaton_to_payload(
+            prestar_csr(pds, automaton, trim=True)
+        )
+        (fused,) = poststar_many_csr(pds, [automaton], trim=True)
+        assert automaton_to_payload(fused) == automaton_to_payload(
+            poststar_csr(pds, automaton, trim=True)
+        )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_batch_order_never_leaks(seed):
+    """Permutation invariance: each criterion's projection depends only
+    on its own automaton, never on its neighbours or their order."""
+    session = SlicingSession(_source(seed), kernel="csr")
+    pds = session.encoding.pds
+    automata = _queries(session, "reachable")
+    reference = _payloads(prestar_many_csr(pds, automata, trim=True))
+    order = list(range(len(automata)))
+    rng = random.Random(seed)
+    for _ in range(3):
+        rng.shuffle(order)
+        shuffled = prestar_many_csr(pds, [automata[i] for i in order], trim=True)
+        assert [automaton_to_payload(a) for a in shuffled] == [
+            reference[i] for i in order
+        ], order
+    reference = _payloads(poststar_many_csr(pds, automata, trim=True))
+    rng.shuffle(order)
+    shuffled = poststar_many_csr(pds, [automata[i] for i in order], trim=True)
+    assert [automaton_to_payload(a) for a in shuffled] == [
+        reference[i] for i in order
+    ], order
+
+
+@pytest.mark.smoke
+def test_many_wrappers_fall_back_on_object_kernel():
+    session = SlicingSession(_source(0), kernel="object")
+    pds = session.encoding.pds
+    automata = _queries(session, "reachable")
+    fused = prestar_many(pds, automata, trim=True, kernel="object")
+    solo = [prestar(pds, a, trim=True, kernel="object") for a in automata]
+    assert _payloads(fused) == _payloads(solo)
+    fused = poststar_many(pds, automata, trim=True, kernel="object")
+    solo = [poststar(pds, a, trim=True, kernel="object") for a in automata]
+    assert _payloads(fused) == _payloads(solo)
+
+
+@pytest.mark.smoke
+def test_empty_batch():
+    session = SlicingSession(_source(0), kernel="csr")
+    pds = session.encoding.pds
+    assert prestar_many_csr(pds, []) == []
+    assert poststar_many_csr(pds, []) == []
+
+
+# -- session-level differential ----------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(0, N_PROGRAMS, 5))
+@pytest.mark.parametrize("contexts", ["reachable", "empty"])
+def test_fused_sessions_byte_identical(seed, contexts):
+    source = _source(seed)
+    fused = SlicingSession(source, kernel="csr")
+    plain = SlicingSession(source, kernel="csr")
+    criteria = _criteria(fused)
+    if contexts == "empty":
+        # Multi-vertex criteria are not generally readable out in
+        # empty-contexts mode (a pre-existing limitation on both
+        # kernels, fused or not); the per-print criteria are.
+        criteria = [c for c in criteria if c != "prints"]
+    fused_results = fused.slice_many(
+        criteria, contexts=contexts, batch_saturation="on"
+    )
+    plain_results = plain.slice_many(
+        criteria, contexts=contexts, batch_saturation="off"
+    )
+    for criterion, f, p in zip(criteria, fused_results, plain_results):
+        tag = (seed, contexts, criterion)
+        assert automaton_to_payload(f.a1) == automaton_to_payload(p.a1), tag
+        assert automaton_to_payload(f.a6) == automaton_to_payload(p.a6), tag
+        assert f.closure_elems() == p.closure_elems(), tag
+        assert f.version_counts() == p.version_counts(), tag
+        assert f.footprint == p.footprint, tag
+    assert _sat_digests(fused) == _sat_digests(plain), (seed, contexts)
+    # The fused session really fused; the plain one really did not.
+    assert fused.stats["fused_batches"] >= 1
+    assert fused.stats["fused_criteria"] >= 2
+    assert plain.stats["fused_batches"] == 0
+    # Saturation-miss accounting is identical: one per distinct cold
+    # saturation either way.
+    assert (
+        fused.stats["saturation_misses"] == plain.stats["saturation_misses"]
+    ), (seed, contexts)
+
+
+@pytest.mark.smoke
+def test_singleton_slice_many_fuses_only_when_forced():
+    source = _source(2)
+    auto = SlicingSession(source, kernel="csr")
+    # Auto mode (pinned explicitly, so a REPRO_BATCH_SATURATION=on
+    # lane doesn't flip it): one cold criterion is not worth fusing.
+    auto.slice_many([("print", 0)], batch_saturation="auto")
+    assert auto.stats["fused_batches"] == 0
+    forced = SlicingSession(source, kernel="csr")
+    forced.slice_many([("print", 0)], batch_saturation="on")
+    assert forced.stats["fused_batches"] == 1
+    assert forced.stats["fused_criteria"] == 1
+    plain = SlicingSession(source, kernel="csr")
+    reference = plain.slice(("print", 0))
+    result = forced.slice(("print", 0))
+    assert automaton_to_payload(result.a6) == automaton_to_payload(reference.a6)
+    assert result.closure_elems() == reference.closure_elems()
+
+
+@pytest.mark.smoke
+def test_object_kernel_sessions_never_fuse():
+    session = SlicingSession(_source(3), kernel="object")
+    session.slice_many(_criteria(session), batch_saturation="on")
+    assert session.stats["fused_batches"] == 0
+
+
+def test_persisted_sats_bytes_identical(tmp_path):
+    """The artifacts a fused batch files in the store are the same
+    bytes the sequential path would have filed."""
+    from repro.store import SliceStore
+
+    source = _source(4)
+    fused = SlicingSession(
+        source, store=SliceStore(str(tmp_path / "fused")), kernel="csr"
+    )
+    plain = SlicingSession(
+        source, store=SliceStore(str(tmp_path / "plain")), kernel="csr"
+    )
+    criteria = _criteria(fused)
+    fused.slice_many(criteria, batch_saturation="on")
+    plain.slice_many(criteria, batch_saturation="off")
+
+    def sat_bytes(root):
+        found = {}
+        sats = os.path.join(root, "__sats__")
+        for name in sorted(os.listdir(sats)):
+            if not name.endswith(".slc") or name.startswith("idx-"):
+                continue
+            with open(os.path.join(sats, name), "rb") as handle:
+                found[name] = handle.read()
+        return found
+
+    fused_bytes = sat_bytes(str(tmp_path / "fused"))
+    plain_bytes = sat_bytes(str(tmp_path / "plain"))
+    assert fused_bytes and fused_bytes == plain_bytes
+
+
+def test_warm_store_batch_skips_the_fused_pass(tmp_path):
+    from repro.store import SliceStore
+
+    source = _source(5)
+    cache = str(tmp_path / "cache")
+    writer = SlicingSession(source, store=SliceStore(cache), kernel="csr")
+    criteria = _criteria(writer)
+    writer.slice_many(criteria, batch_saturation="on")
+    assert writer.stats["fused_batches"] == 1
+
+    reader = SlicingSession(source, store=SliceStore(cache), kernel="csr")
+    reference = [
+        (r.closure_elems(), automaton_to_payload(r.a6))
+        for r in writer.slice_many(criteria)
+    ]
+    warm = reader.slice_many(criteria, batch_saturation="on")
+    assert [
+        (r.closure_elems(), automaton_to_payload(r.a6)) for r in warm
+    ] == reference
+    # Every criterion's rendered result was persisted, so no saturation
+    # ran — fused or otherwise.
+    assert reader.stats["fused_batches"] == 0
+    assert reader.stats["saturation_misses"] == 0
+    assert reader.stats["sat_persist_misses"] == 0
+
+
+def test_sats_warm_batch_loads_instead_of_saturating(tmp_path):
+    """Rendered results evicted but ``__sats__`` artifacts intact: the
+    fused pass claims the criteria, then serves every one from the
+    persisted automata without a single kernel pop."""
+    from repro.store import SliceStore
+
+    source = _source(6)
+    cache = str(tmp_path / "cache")
+    writer = SlicingSession(source, store=SliceStore(cache), kernel="csr")
+    criteria = _criteria(writer)
+    writer.slice_many(criteria, batch_saturation="on")
+    reference = [
+        (r.closure_elems(), automaton_to_payload(r.a6))
+        for r in writer.slice_many(criteria)
+    ]
+    # Drop the rendered slices; keep the saturation artifacts.
+    src_dir = os.path.join(cache, writer.source_hash)
+    removed = 0
+    for name in os.listdir(src_dir):
+        if name.startswith("slice-"):
+            os.unlink(os.path.join(src_dir, name))
+            removed += 1
+    assert removed == len(set(criteria))
+
+    reader = SlicingSession(source, store=SliceStore(cache), kernel="csr")
+    warm = reader.slice_many(criteria, batch_saturation="on")
+    assert [
+        (r.closure_elems(), automaton_to_payload(r.a6)) for r in warm
+    ] == reference
+    # N criteria plus the reachable-configs poststar, all persisted.
+    n_sats = len(set(criteria)) + 1
+    assert reader.stats["sat_persist_hits"] == n_sats
+    assert reader.stats["sat_persist_misses"] == 0
+    assert reader.stats["kernel_worklist_pops"] == 0
+
+
+def test_remove_features_many_matches_sequential():
+    source = scaled_wc_source(4)
+    features = ["count_line", "count_word", "count_char"]
+    fused = SlicingSession(source, kernel="csr")
+    plain = SlicingSession(source, kernel="csr")
+    fused_results = fused.remove_features_many(features, batch_saturation="on")
+    plain_results = [plain.remove_feature(f) for f in features]
+    assert fused.stats["fused_batches"] == 1
+    assert fused.stats["fused_criteria"] == len(features)
+    for feature, f, p in zip(features, fused_results, plain_results):
+        assert automaton_to_payload(f.a1) == automaton_to_payload(p.a1), feature
+        assert f.footprint == p.footprint, feature
+    assert _sat_digests(fused) == _sat_digests(plain)
+
+
+@pytest.mark.smoke
+def test_update_source_invalidates_batch_state():
+    """An edit between the fused pass and the slice computes must not
+    leak stale query automata or a stale compiled PDS."""
+    base = scaled_wc_source(3)
+    session = SlicingSession(base, kernel="csr")
+    session.slice_many(_criteria(session), batch_saturation="on")
+    compiled_before = session._compiled
+    # A constant edit is layout-fast-equivalent: the front half (and so
+    # the compiled PDS) is legitimately reused — a compile cache hit.
+    session.update_source(base.replace("c == 32", "c == 33"))
+    assert not session._batch_queries
+    assert session._compiled is compiled_before
+    # A structural edit rebuilds the front half; the stale compile must
+    # be replaced, not served.
+    edited = base.replace(
+        "chars = chars + 1;", "chars = chars + 1;\n  chars = chars + 0;"
+    )
+    session.update_source(edited)
+    assert not session._batch_queries
+    assert session._compiled is not None
+    assert session._compiled is not compiled_before
+    cold = SlicingSession(edited, kernel="csr")
+    assert pretty(session.executable("prints").program) == pretty(
+        cold.executable("prints").program
+    )
+
+
+# -- gating ------------------------------------------------------------------------
+
+
+@pytest.mark.smoke
+def test_resolve_batch_modes(monkeypatch):
+    monkeypatch.delenv(kernelcfg.BATCH_ENV_VAR, raising=False)
+    assert kernelcfg.resolve_batch(None) == kernelcfg.BATCH_AUTO
+    assert kernelcfg.resolve_batch("on") == kernelcfg.BATCH_ON
+    assert kernelcfg.resolve_batch("off") == kernelcfg.BATCH_OFF
+    monkeypatch.setenv(kernelcfg.BATCH_ENV_VAR, "on")
+    assert kernelcfg.resolve_batch(None) == kernelcfg.BATCH_ON
+    assert kernelcfg.resolve_batch("off") == kernelcfg.BATCH_OFF
+    with pytest.raises(ValueError):
+        kernelcfg.resolve_batch("sometimes")
+    monkeypatch.setenv(kernelcfg.BATCH_ENV_VAR, "sideways")
+    with pytest.raises(ValueError):
+        kernelcfg.resolve_batch(None)
+
+
+@pytest.mark.smoke
+def test_env_var_gates_slice_many(monkeypatch):
+    source = _source(7)
+    monkeypatch.setenv(kernelcfg.BATCH_ENV_VAR, "off")
+    off = SlicingSession(source, kernel="csr")
+    off.slice_many(_criteria(off))
+    assert off.stats["fused_batches"] == 0
+    monkeypatch.setenv(kernelcfg.BATCH_ENV_VAR, "on")
+    on = SlicingSession(source, kernel="csr")
+    on.slice_many(_criteria(on))
+    assert on.stats["fused_batches"] == 1
+
+
+@pytest.mark.smoke
+def test_compile_cache_counters():
+    session = SlicingSession(_source(8), kernel="csr")
+    assert session.stats["kernel_compile_misses"] == 1  # _hold_compiled
+    session.slice_many(_criteria(session), batch_saturation="on")
+    stats = session.stats
+    assert stats["kernel_compile_misses"] == 1
+    assert stats["kernel_compile_hits"] >= 1

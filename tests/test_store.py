@@ -238,7 +238,9 @@ def test_write_failure_degrades_to_counted_noop(tmp_path, monkeypatch):
     store.put_program(HASH, {"front": "half"})
     store.put_sat(HASH, KEY, "artifact")
     store.merge_sat_index(HASH, layout=(("main", "k", "s", (1,), ()),), records={})
-    assert store.stats()["write_errors"] == 4
+    # merge_sat_index attempts two writes: the index entry and the
+    # inverted keymap sidecar.
+    assert store.stats()["write_errors"] == 5
     # Reads are unaffected: the pre-existing entry still answers.
     assert store.get(HASH, "slice", KEY) == "kept"
     assert store.get(HASH, "slice", "other") is None
@@ -420,6 +422,8 @@ def test_stored_entries_are_slim(tmp_path):
     sizes = {}
     for path in _entry_files(store):
         name = os.path.basename(path)
+        if not name.endswith(".slc"):
+            continue  # non-entry sidecars (meta, keymap) are not entries
         sizes[name.split("-")[0].replace(".slc", "")] = max(
             os.path.getsize(path),
             sizes.get(name.split("-")[0].replace(".slc", ""), 0),
@@ -812,3 +816,127 @@ def test_cli_slice_batch_reuse_from(tmp_path):
     bad.write_text("int main() { broken")
     with pytest.raises(SystemExit):
         run_cli(["slice-batch", str(previous), "--reuse-from", str(bad)])
+
+
+# -- the inverted keymap sidecar ---------------------------------------------------
+
+LAYOUT_A = (
+    ("main", "key-main-1", "shape-main", (1, 2), ("s1",)),
+    ("helper", "key-help-1", "shape-help", (3,), ()),
+)
+# Same shape as LAYOUT_A, different content keys in every procedure —
+# the fast-equivalent "label edit everywhere" donor.
+LAYOUT_B = (
+    ("main", "key-main-2", "shape-main", (1, 2), ("s1",)),
+    ("helper", "key-help-2", "shape-help", (3,), ()),
+)
+# A different program entirely.
+LAYOUT_C = (("other", "key-other", "shape-other", (9,), ()),)
+
+
+def test_keymap_narrows_discovery_to_plausible_donors(tmp_path):
+    """``sat_indexes_for`` returns exactly the revisions that share a
+    content key or the layout shape signature — donors adoptable by
+    footprint subset or fast equivalence are always in the set, and
+    unrelated revisions never are."""
+    store = _store(tmp_path)
+    # Front halves keep the synthetic indexes alive through the GC
+    # walk (an index with no live records and no front half is dead
+    # weight and gets dropped).
+    store.put_program("revA", {"front": "A"})
+    store.put_program("revC", {"front": "C"})
+    store.merge_sat_index("revA", layout=LAYOUT_A, records={})
+    store.merge_sat_index("revC", layout=LAYOUT_C, records={})
+
+    # Shared content key (footprint-subset adoption).
+    found = store.sat_indexes_for(frozenset(["key-main-1", "key-new"]), None)
+    assert [src for src, _index in found] == ["revA"]
+    # Zero shared keys but the same shape (fast-equivalent label edit).
+    found = store.sat_indexes_for(
+        frozenset(["key-main-2", "key-help-2"]), store.layout_signature(LAYOUT_B)
+    )
+    assert [src for src, _index in found] == ["revA"]
+    # Neither dimension matches: not a candidate.
+    found = store.sat_indexes_for(
+        frozenset(["key-main-2"]), store.layout_signature(LAYOUT_C)
+    )
+    assert [src for src, _index in found] == ["revC"]
+    assert store.sat_indexes_for(frozenset(["nowhere"]), "no-such-shape") == []
+
+
+def test_layout_signature_ignores_content_keys(tmp_path):
+    assert SliceStore.layout_signature(LAYOUT_A) == SliceStore.layout_signature(
+        LAYOUT_B
+    )
+    assert SliceStore.layout_signature(LAYOUT_A) != SliceStore.layout_signature(
+        LAYOUT_C
+    )
+    # Malformed layouts answer None (and sat_indexes_for tolerates it).
+    assert SliceStore.layout_signature(("not-a-5-tuple",)) is None
+
+
+def test_keymap_missing_or_corrupt_falls_back_and_self_heals(tmp_path):
+    store = _store(tmp_path)
+    store.put_program("revA", {"front": "A"})
+    store.put_program("revC", {"front": "C"})
+    store.merge_sat_index("revA", layout=LAYOUT_A, records={})
+    store.merge_sat_index("revC", layout=LAYOUT_C, records={})
+    keymap_path = store._keymap_path()
+    assert os.path.exists(keymap_path)
+
+    full = {src for src, _index in store.sat_indexes()}
+    for corruption in ("remove", b"not json {"):
+        if corruption == "remove":
+            os.unlink(keymap_path)
+        else:
+            with open(keymap_path, "wb") as handle:
+                handle.write(corruption)
+        # Degrades to the full scan...
+        found = {src for src, _index in store.sat_indexes_for(frozenset(), None)}
+        assert found == full == {"revA", "revC"}
+        # ...and rebuilds the sidecar from what the scan found.
+        assert os.path.exists(keymap_path)
+        found = store.sat_indexes_for(frozenset(["key-other"]), None)
+        assert [src for src, _index in found] == ["revC"]
+
+
+def test_keymap_survives_clear_and_index_gc(tmp_path):
+    store = _store(tmp_path)
+    store.put_program(HASH, {"front": "half"})
+    store.merge_sat_index(HASH, layout=LAYOUT_A, records={})
+    store.merge_sat_index("ghost", layout=LAYOUT_C, records={})
+    assert os.path.exists(store._keymap_path())
+
+    # GC drops the record-less, front-half-less "ghost" index and
+    # rebuilds the keymap without it.
+    store._evict()
+    assert {src for src, _index in store.sat_indexes()} == {HASH}
+    found = store.sat_indexes_for(
+        frozenset(["key-other"]), store.layout_signature(LAYOUT_C)
+    )
+    assert found == []
+    found = store.sat_indexes_for(frozenset(["key-main-1"]), None)
+    assert [src for src, _index in found] == [HASH]
+
+    store.clear()
+    assert not os.path.exists(store._keymap_path())
+    assert store.sat_indexes_for(frozenset(["key-main-1"]), None) == []
+
+
+def test_has_is_an_uncounted_peek(tmp_path):
+    """``has`` answers from the header alone and moves no hit/miss
+    counter — the fused batch path peeks with it and leaves the real
+    lookup (and its accounting) to the memo path."""
+    store = _store(tmp_path)
+    store.put(HASH, "slice", KEY, {"answer": 1})
+    before = store.stats()
+    assert store.has(HASH, "slice", KEY)
+    assert not store.has(HASH, "slice", "absent")
+    assert not store.has("no-such-rev", "slice", KEY)
+    after = store.stats()
+    assert (after["hits"], after["misses"]) == (before["hits"], before["misses"])
+    # A corrupt header reads as absent.
+    (path,) = [p for p in _entry_files(store) if "slice-" in p]
+    with open(path, "r+b") as handle:
+        handle.write(b"XXXX")
+    assert not store.has(HASH, "slice", KEY)
