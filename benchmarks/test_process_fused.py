@@ -1,0 +1,121 @@
+"""The fused process backend's performance pin.
+
+``slice_many(backend="process")`` used to ship one task per criterion:
+every cold criterion crossed the IPC boundary alone and saturated alone
+in its worker, so a 30-criterion batch paid 30 worklist passes spread
+over the pool.  The fused path partitions the cold criteria into one
+sub-batch per worker and each worker runs a single
+``prestar_many_csr`` pass over the compiled PDS it adopted from the
+shipped payload — N criteria cost roughly one worklist pass per
+worker, not one per criterion.
+
+The pin runs both modes over a small corpus of scaled word-count
+programs (fresh sessions per mode so nothing is memo-warm), re-asserts
+byte identity of every projected slice so the speedup can never come
+from computing something cheaper, and requires the fused mode to be at
+least 2x faster in total.  On a single-core runner process workers only
+add fork overhead and the chunking degenerates to one sub-batch, so
+the timing assertion is skipped — the equivalence check still runs.
+"""
+
+import os
+import time
+
+import pytest
+
+from bench_utils import print_table, record_bench
+from repro.engine import SlicingSession
+from repro.fsa.serialize import automaton_to_payload
+from repro.workloads.wc import scaled_wc_source
+
+#: scaled word-count category counts; two distinct programs make the
+#: batch a (small) corpus rather than a single subject.
+CORPUS_CATEGORIES = (20, 32)
+
+#: the ISSUE's floor: the fused process backend must beat the
+#: per-criterion process fan-out by at least this factor.
+MIN_SPEEDUP = 2.0
+
+
+def _corpus():
+    return [scaled_wc_source(categories) for categories in CORPUS_CATEGORIES]
+
+
+def _run(mode):
+    """Slice every print criterion of every corpus program through the
+    process backend in the given batch-saturation mode, on fresh
+    sessions (``repro.open_session`` memoizes; a warm memo would answer
+    from cache and never reach the pool)."""
+    total_seconds = 0.0
+    payloads = []
+    for source in _corpus():
+        session = SlicingSession(source, kernel="csr")
+        criteria = [
+            ("print", index)
+            for index in range(len(session.sdg.print_call_vertices()))
+        ]
+        t0 = time.perf_counter()
+        results = session.slice_many(
+            criteria, backend="process", batch_saturation=mode
+        )
+        total_seconds += time.perf_counter() - t0
+        payloads.extend(automaton_to_payload(result.a6) for result in results)
+    return total_seconds, payloads
+
+
+def test_fused_process_matches_per_criterion():
+    fused_seconds, fused = _run("on")
+    off_seconds, unfused = _run("off")
+    assert fused and fused == unfused
+    record_bench(
+        "fused_process_corpus",
+        backend="process",
+        programs=len(CORPUS_CATEGORIES),
+        slices=len(fused),
+        fused_seconds=fused_seconds,
+        per_criterion_seconds=off_seconds,
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="fused-vs-fanout speedup needs >= 2 cores",
+)
+def test_fused_process_beats_per_criterion_fanout():
+    # Warm the pool machinery once per mode (fork/import costs).
+    small = scaled_wc_source(2)
+    for mode in ("on", "off"):
+        SlicingSession(small, kernel="csr").slice_many(
+            [("print", 0)], backend="process", batch_saturation=mode
+        )
+
+    off_seconds, unfused = _run("off")
+    fused_seconds, fused = _run("on")
+    assert fused == unfused
+
+    speedup = off_seconds / fused_seconds
+    slices = len(fused)
+    record_bench(
+        "fused_process_speedup",
+        backend="process",
+        programs=len(CORPUS_CATEGORIES),
+        slices=slices,
+        speedup=speedup,
+        fused_seconds=fused_seconds,
+        per_criterion_seconds=off_seconds,
+        min_speedup=MIN_SPEEDUP,
+    )
+    print_table(
+        "Fused process backend — %d programs, %d slices (wall seconds)"
+        % (len(CORPUS_CATEGORIES), slices),
+        ["mode", "seconds", "speedup"],
+        [
+            ("per-criterion fan-out", "%.3f" % off_seconds, "1.00x"),
+            ("fused sub-batches", "%.3f" % fused_seconds, "%.2fx" % speedup),
+        ],
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        "fused process backend is only %.2fx faster than the per-criterion "
+        "fan-out on %d slices across %d programs (pinned floor: %.1fx)"
+        % (speedup, slices, len(CORPUS_CATEGORIES), MIN_SPEEDUP)
+    )

@@ -196,6 +196,18 @@ def cmd_slice_batch(args):
                 "" if stats["fused_batches"] == 1 else "es",
             )
         )
+    if stats.get("fused_process_batches"):
+        lines.append(
+            "fused process: %d worker sub-batch%s (sizes %s); "
+            "compiled-PDS payload hits/misses %d/%d"
+            % (
+                stats["fused_process_batches"],
+                "" if stats["fused_process_batches"] == 1 else "es",
+                ",".join(str(n) for n in stats["fused_process_subbatch_sizes"]),
+                stats.get("pds_payload_hits", 0),
+                stats.get("pds_payload_misses", 0),
+            )
+        )
     if update is not None:
         lines.append(
             "reuse: %d/%d procedures kept, %d saturations kept / %d dropped (%s path)"
@@ -233,6 +245,7 @@ _TABLE_LABELS = {
     "proc": "__procs__",
     "sat": "__sats__",
     "idx": "__sats__ idx",
+    "pds": "__pds__",
 }
 
 
@@ -253,6 +266,8 @@ def cmd_cache(args):
             "worklist_pops": KERNEL_TOTALS["worklist_pops"],
             "compile_hits": KERNEL_TOTALS["compile_hits"],
             "compile_misses": KERNEL_TOTALS["compile_misses"],
+            "payload_hits": KERNEL_TOTALS["payload_hits"],
+            "payload_misses": KERNEL_TOTALS["payload_misses"],
         }
         if getattr(args, "as_json", False):
             import json
@@ -369,8 +384,9 @@ def build_parser():
     p_batch.add_argument(
         "--backend",
         choices=("thread", "process"),
-        default="thread",
-        help="worker pool kind (process = true CPU parallelism)",
+        default=None,
+        help="worker pool kind (process = true CPU parallelism; "
+        "default: the REPRO_SLICE_BACKEND env knob, thread when unset)",
     )
     p_batch.add_argument(
         "--cache-dir",

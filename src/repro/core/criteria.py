@@ -20,6 +20,7 @@ Three constructors cover the paper's usage:
 
 import itertools
 
+from repro import kernelcfg
 from repro.fsa import FiniteAutomaton, intersection
 from repro.pds import poststar
 
@@ -97,6 +98,7 @@ def reachable_query_view(encoding, kernel=None, stats=None):
         cached = as_query_view(
             reachable_configs_automaton(encoding, kernel=kernel, stats=stats),
             encoding,
+            kernel=kernel,
         )
         encoding._reachable_view = cached
     return cached
@@ -112,7 +114,15 @@ def reachable_contexts_criterion(encoding, vids, kernel=None):
     """
     reachable_view = reachable_query_view(encoding, kernel=kernel)
     broad = all_contexts_criterion(encoding, vids)
-    product = intersection(reachable_view, broad).trim()
+    if kernelcfg.resolve_kernel(kernel) == kernelcfg.CSR:
+        # The product against the program-sized reachable view is the
+        # read-out path's hot spot; the packed-row twin builds the same
+        # trimmed automaton over bitsets.
+        from repro.fsa.intops import intersection_int
+
+        product = intersection_int(reachable_view, broad)
+    else:
+        product = intersection(reachable_view, broad).trim()
     if not product.states:
         # The criterion vertices are unreachable from main (dead code):
         # the slice is empty.  Return a valid query accepting nothing.
@@ -120,9 +130,16 @@ def reachable_contexts_criterion(encoding, vids, kernel=None):
     return rebase_initial(product, encoding.main_location)
 
 
-def as_query_view(automaton, encoding):
+def as_query_view(automaton, encoding, kernel=None):
     """Restrict a P-automaton to the language read from the main control
-    location: same transitions, single initial state ``p``, trimmed."""
+    location: same transitions, single initial state ``p``, trimmed.
+    On the ``csr`` kernel the restriction runs over packed rows
+    (:func:`repro.fsa.intops.query_view_int`) — identical result, no
+    object-by-object copy of the saturation automaton."""
+    if kernelcfg.resolve_kernel(kernel) == kernelcfg.CSR:
+        from repro.fsa.intops import query_view_int
+
+        return query_view_int(automaton, encoding.main_location)
     view = FiniteAutomaton(initials=[encoding.main_location])
     for state in automaton.finals:
         view.add_final(state)

@@ -163,7 +163,7 @@ def specialization_slice(sdg, criterion, contexts="reachable", a1=None, kernel=N
 
     # Lines 4-8: the five automaton operations, instrumented separately
     # so experiments can report determinize input/output sizes (§4.2).
-    view = as_query_view(a1, encoding)
+    view = as_query_view(a1, encoding, kernel=kernel)
     fused = None
     if kernel == kernelcfg.CSR:
         from repro.fsa.intops import mrd_int
@@ -189,7 +189,7 @@ def specialization_slice(sdg, criterion, contexts="reachable", a1=None, kernel=N
     t3 = time.perf_counter()
 
     r_sdg, pdgs, bindings, map_back_vertex, map_back_site = read_out_sdg(
-        sdg, a6, encoding
+        sdg, a6, encoding, kernel=kernel
     )
     t4 = time.perf_counter()
 

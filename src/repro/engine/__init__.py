@@ -37,11 +37,12 @@ from repro.engine.canonical import (
     stable_key_digest,
 )
 from repro.engine.incremental import discover_artifacts, procedure_keys
-from repro.engine.parallel import slice_many_programs
+from repro.engine.parallel import ProgramSliceError, slice_many_programs
 from repro.engine.session import SlicingSession
 
 __all__ = [
     "PRINTS",
+    "ProgramSliceError",
     "REACHABLE_KEY",
     "SaturationArtifact",
     "SlicingSession",

@@ -42,12 +42,39 @@ with the store's content-addressed tables and stays meaningful across
 processes.
 
 Artifacts pickle deterministically: ``__getstate__`` renders the
-automaton through :func:`repro.fsa.serialize.automaton_to_payload`, so
-equal artifacts serialize to equal bytes in any interpreter — the
-property the ``__sats__`` store table and the process backend rely on.
+automaton through :func:`repro.fsa.serialize.automaton_to_payload` and
+then collapses equal values to one representative object
+(:func:`_intern_values`), so equal artifacts serialize to equal bytes
+in any interpreter — the property the ``__sats__`` store table and the
+process backend rely on.  The interning pass matters because pickle
+memoizes by object *identity*: a product state like ``('m', 'm')``
+pairs the criterion module's ``'m'`` with an ``'m'`` that may have been
+unpickled from a store-loaded Poststar, and whether those are one
+object or two depends on which worker persisted the Poststar first.
 """
 
 from repro.fsa.serialize import automaton_from_payload, automaton_to_payload
+
+
+def _intern_values(value, memo):
+    """Rebuild a payload-shaped value (ints, strings, bytes, bools,
+    None, nested tuples/frozensets thereof) with every equal sub-value
+    collapsed to a single representative object, so pickle's
+    identity-keyed memo sees the same sharing structure for equal
+    values regardless of where each object came from.  Only the kinds
+    pickle stores by reference need interning; ints, bools, and None
+    are serialized inline at every occurrence, so they pass through
+    untouched (payloads are mostly ints — skipping them keeps this
+    pass off the warm-query profile)."""
+    if isinstance(value, tuple):
+        value = tuple(_intern_values(item, memo) for item in value)
+    elif isinstance(value, frozenset):
+        value = frozenset(_intern_values(item, memo) for item in value)
+    elif not isinstance(value, (str, bytes)):
+        return value
+    # Keyed by (class, value) so equal-comparing values of different
+    # types (e.g. a str-subclass) stay distinct.
+    return memo.setdefault((value.__class__, value), value)
 
 
 def translate_footprint(footprint, key_translation):
@@ -83,11 +110,15 @@ class SaturationArtifact(object):
         self.footprint = footprint
 
     def __getstate__(self):
-        return (
-            self.kind,
-            self.key,
-            automaton_to_payload(self.automaton),
-            None if self.footprint is None else tuple(sorted(self.footprint)),
+        memo = {}
+        return _intern_values(
+            (
+                self.kind,
+                self.key,
+                automaton_to_payload(self.automaton),
+                None if self.footprint is None else tuple(sorted(self.footprint)),
+            ),
+            memo,
         )
 
     def __setstate__(self, state):

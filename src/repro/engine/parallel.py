@@ -14,16 +14,48 @@ worker — thread or process — reads and writes the shared persistent
 disk without any saturation work, and even a half-warm one loads each
 program's ``Poststar(entry_main)`` artifact from the shared
 ``__sats__`` table instead of re-saturating it per worker.
+
+Each worker is *batch-aware*: on the ``csr`` kernel its program's cold
+criteria saturate in one fused multi-criterion kernel pass (the
+:meth:`~SlicingSession.slice_many` fused path), so a job costs one
+front half plus one worklist run, not one per criterion.  Jobs are
+submitted **largest first** — source length is the cheap proxy for
+front-half size — so the most expensive program starts immediately
+instead of landing on an almost-drained pool and stretching the
+straggler tail; results still come back in input order.
 """
 
+import hashlib
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.engine.session import SlicingSession
 
 
+class ProgramSliceError(RuntimeError):
+    """A job of :func:`slice_many_programs` failed.  Carries which one:
+    ``job_index`` (the job's position in the input batch) and
+    ``source_digest`` (sha256 prefix of its source text) identify the
+    program without dumping corpus text into the traceback; the
+    original exception rides along as ``__cause__``."""
+
+    def __init__(self, job_index, source_digest, cause):
+        super(ProgramSliceError, self).__init__(
+            "slice_many_programs job %d (source sha256 %s) failed: %s"
+            % (job_index, source_digest, cause)
+        )
+        self.job_index = job_index
+        self.source_digest = source_digest
+
+
 def slice_many_programs(
-    jobs, contexts="reachable", backend="thread", max_workers=None, cache_dir=None
+    jobs,
+    contexts="reachable",
+    backend="thread",
+    max_workers=None,
+    cache_dir=None,
+    kernel=None,
+    batch_saturation=None,
 ):
     """Slice a batch of programs.
 
@@ -39,10 +71,21 @@ def slice_many_programs(
         max_workers: pool size (default: ``min(len(jobs), cpu_count)``).
         cache_dir: optional persistent-store directory shared by all
             workers.
+        kernel: saturation kernel for every worker session
+            (:mod:`repro.kernelcfg`; default the ``REPRO_KERNEL`` knob).
+        batch_saturation: fused-saturation mode for each worker's
+            criterion batch (``auto``/``on``/``off``; default the
+            ``REPRO_BATCH_SATURATION`` knob).
 
     Returns:
         a list of lists of :class:`SpecializationResult`, one inner
         list per job, in input order.
+
+    Raises:
+        ProgramSliceError: when any job fails — after every job has
+            settled (a failing program never cancels its siblings' work
+            mid-flight), naming the failing job's index and source
+            digest, with the worker's exception as ``__cause__``.
     """
     jobs = [(source, list(criteria)) for source, criteria in jobs]
     if not jobs:
@@ -51,16 +94,51 @@ def slice_many_programs(
         raise ValueError("backend must be 'thread' or 'process'")
     if max_workers is None:
         max_workers = min(len(jobs), os.cpu_count() or 1)
+    # Largest front half first (source length is the proxy: front-half
+    # cost tracks program size far better than criterion count).  With
+    # more jobs than workers this kills the straggler tail — the big
+    # program overlaps everything else instead of starting last.
+    order = sorted(
+        range(len(jobs)), key=lambda i: len(jobs[i][0]), reverse=True
+    )
     pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+    futures = {}
     with pool_cls(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(_slice_one_program, source, criteria, contexts, cache_dir)
-            for source, criteria in jobs
-        ]
-    return [future.result() for future in futures]
+        for i in order:
+            source, criteria = jobs[i]
+            futures[i] = pool.submit(
+                _slice_one_program,
+                source,
+                criteria,
+                contexts,
+                cache_dir,
+                kernel,
+                batch_saturation,
+            )
+        # Settle every job before raising: ``pool.shutdown`` inside the
+        # context manager waits for all of them, so sibling results (and
+        # their store writes) complete even when one program fails.
+    results = []
+    failure = None
+    for i in range(len(jobs)):
+        try:
+            results.append(futures[i].result())
+        except Exception as exc:
+            results.append(None)
+            if failure is None:
+                digest = hashlib.sha256(
+                    jobs[i][0].encode("utf-8")
+                ).hexdigest()[:12]
+                failure = ProgramSliceError(i, digest, exc)
+                failure.__cause__ = exc
+    if failure is not None:
+        raise failure
+    return results
 
 
-def _slice_one_program(source, criteria, contexts, cache_dir):
+def _slice_one_program(
+    source, criteria, contexts, cache_dir, kernel=None, batch_saturation=None
+):
     """One worker's whole job: build or store-load the session, then
     slice every criterion through the batch driver (the process-level
     parallelism is across programs; within one program the ``csr``
@@ -71,5 +149,14 @@ def _slice_one_program(source, criteria, contexts, cache_dir):
         from repro.store import SliceStore
 
         store = SliceStore(cache_dir)
-    session = SlicingSession(source, store=store)
-    return session.slice_many(criteria, contexts=contexts, max_workers=1)
+    session = SlicingSession(source, store=store, kernel=kernel)
+    # backend is pinned: this already *is* the worker — letting the
+    # REPRO_SLICE_BACKEND knob leak in here would nest a process pool
+    # inside each process-pool worker.
+    return session.slice_many(
+        criteria,
+        contexts=contexts,
+        max_workers=1,
+        backend="thread",
+        batch_saturation=batch_saturation,
+    )

@@ -102,7 +102,14 @@ class SlicingSession(object):
     """
 
     def __init__(
-        self, source=None, program=None, info=None, sdg=None, store=None, kernel=None
+        self,
+        source=None,
+        program=None,
+        info=None,
+        sdg=None,
+        store=None,
+        kernel=None,
+        compiled_payload=None,
     ):
         t0 = time.perf_counter()
         self.store = store
@@ -161,8 +168,12 @@ class SlicingSession(object):
             "kernel_worklist_pops": 0,
             "kernel_compile_hits": 0,
             "kernel_compile_misses": 0,
+            "pds_payload_hits": 0,
+            "pds_payload_misses": 0,
             "fused_batches": 0,
             "fused_criteria": 0,
+            "fused_process_batches": 0,
+            "fused_process_subbatch_sizes": (),
             "load_seconds": time.perf_counter() - t0,
             "front_half_from_store": front_half_cached,
             "front_half_parts_hits": parts_hit,
@@ -191,7 +202,7 @@ class SlicingSession(object):
             "sats_adopted": 0,
             "discovery_seconds": 0.0,
         }
-        self._hold_compiled()
+        self._hold_compiled(compiled_payload)
         if store is not None and self.source_hash is not None:
             # Cross-revision discovery: adopt saturations filed under
             # other revisions of this program (see
@@ -260,14 +271,16 @@ class SlicingSession(object):
         criteria,
         contexts="reachable",
         max_workers=None,
-        backend="thread",
+        backend=None,
         batch_saturation=None,
     ):
         """The batch driver: slice each criterion, fanning independent
         queries out over a worker pool.  Duplicate criteria are computed
         once.  Returns results in input order.
 
-        ``backend="thread"`` (default) shares this session's read-only
+        ``backend`` defaults to the ``REPRO_SLICE_BACKEND`` environment
+        knob (``thread`` when unset).
+        ``backend="thread"`` shares this session's read-only
         encoding across a thread pool — cheap, but saturation work
         serializes on the GIL.  ``backend="process"`` runs criteria in
         a :class:`ProcessPoolExecutor`: each worker builds (or, with a
@@ -292,13 +305,12 @@ class SlicingSession(object):
         if not criteria:
             return []
         mode = kernelcfg.resolve_batch(batch_saturation)
+        backend = kernelcfg.resolve_backend(backend)
         # Resolve each spec exactly once, up front: specs may be one-
         # shot iterables, and early validation beats a worker traceback.
         specs = [resolve_criterion_spec(self.sdg, c) for c in criteria]
-        if backend == "process":
-            return self._slice_many_process(specs, contexts, max_workers)
-        if backend != "thread":
-            raise ValueError("backend must be 'thread' or 'process'")
+        if backend == kernelcfg.PROCESS:
+            return self._slice_many_process(specs, contexts, max_workers, mode)
         if mode != kernelcfg.BATCH_OFF and self.kernel == kernelcfg.CSR:
             self._fused_batch(
                 [
@@ -587,22 +599,62 @@ class SlicingSession(object):
             self.reachable_configs()
         return resolve_criterion(self.encoding, payload, contexts, kernel=self.kernel)
 
-    def _hold_compiled(self):
+    def _hold_compiled(self, payload=None):
         """Pin the compiled form of this front half's PDS on the
         session (``csr`` kernel only): compilation happens here, once,
         and every saturation — batched, single, or feature-cone — finds
         it in the kernel's cache for as long as the session (and thus
         the PDS object) lives.  Re-run by ``update_source`` when an
         edit re-encodes the PDS; the hit/miss economics land in
-        ``kernel_compile_hits`` / ``kernel_compile_misses``."""
+        ``kernel_compile_hits`` / ``kernel_compile_misses``.
+
+        Before compiling, a relocatable payload is *adopted* when one
+        is at hand — passed explicitly (process-pool workers get the
+        parent's through the pool initializer) or read from the store's
+        ``__pds__`` table under the front-half hash — so the packed
+        arrays are rebuilt from flat ints instead of re-derived from
+        the rule objects.  A consult that comes up empty, corrupt, or
+        mismatched degrades to a plain compile; both outcomes land in
+        ``pds_payload_hits`` / ``pds_payload_misses``.  A fresh compile
+        with a store attached persists its payload for the next
+        process."""
         if self.kernel != kernelcfg.CSR:
             self._compiled = None
             return
-        from repro.pds.kernel import compiled_pds
+        from repro.pds import kernel as _kernel
 
+        pds = self.encoding.pds
         sink = {}
-        self._compiled = compiled_pds(self.encoding.pds, sink)
-        self._absorb_kernel_stats(sink)
+        consulted = payload is not None
+        if (
+            payload is None
+            and self.store is not None
+            and self.source_hash is not None
+        ):
+            consulted = True
+            payload = self.store.get_pds(self.source_hash)
+        adopted = False
+        if payload is not None:
+            adopted = _kernel.adopt_payload(pds, payload, sink)
+        elif consulted:
+            _kernel.count_payload(sink, False)
+        self._compiled = _kernel.compiled_pds(pds, sink)
+        with self._lock:
+            for name, value in sink.items():
+                self._stats[name] = self._stats.get(name, 0) + value
+        if (
+            not adopted
+            and self.store is not None
+            and self.source_hash is not None
+        ):
+            try:
+                self.store.put_pds(
+                    self.source_hash, _kernel.compiled_payload(self._compiled)
+                )
+            except ValueError:
+                # A PDS outside the SDG encoding's location/symbol
+                # universe has no payload form; skip persistence.
+                pass
 
     def _pop_batch_query(self, sat_key):
         """Claim the query automaton a fused batch pass stashed for
@@ -896,12 +948,14 @@ class SlicingSession(object):
                 self._futures[full_key] = future
         return value
 
-    def _slice_many_process(self, specs, contexts, max_workers):
+    def _slice_many_process(self, specs, contexts, max_workers, mode=None):
         if self.source is None:
             raise ValueError(
                 "backend='process' needs the session's source text "
                 "(sessions built from an SDG cannot ship work to workers)"
             )
+        if mode is None:
+            mode = kernelcfg.resolve_batch(None)
         keys = [canonical_key(kind, payload, contexts) for kind, payload in specs]
         unique = {}
         for spec, key in zip(specs, keys):
@@ -943,21 +997,71 @@ class SlicingSession(object):
             artifacts = self._export_artifacts(
                 [key for key, _spec in to_compute]
             )
+            pds_payload = self._export_payload()
+            fused = (
+                mode != kernelcfg.BATCH_OFF and self.kernel == kernelcfg.CSR
+            )
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_process_worker_init,
-                initargs=(self.source, cache_dir, max_bytes, artifacts, self.kernel),
+                initargs=(
+                    self.source,
+                    cache_dir,
+                    max_bytes,
+                    artifacts,
+                    self.kernel,
+                    pds_payload,
+                ),
             ) as pool:
-                futures = {
-                    key: pool.submit(_process_worker_slice, kind, payload, contexts)
-                    for key, (kind, payload) in to_compute
-                }
-            for key, future in futures.items():
-                # Workers ship slim results (no embedded front half);
-                # re-attach this session's SDG/encoding on install.
-                computed[key] = self._install(
-                    "slice", key, self._rehydrate(future.result())
-                )
+                if fused:
+                    # Partition the cold criteria into one sub-batch
+                    # per worker (round-robin stripes, so sizes differ
+                    # by at most one); each worker saturates its whole
+                    # sub-batch in one fused kernel pass over the
+                    # shipped compiled PDS — the PR 7 thread-path
+                    # semantics, per worker.
+                    chunks = [
+                        to_compute[i::workers]
+                        for i in range(min(workers, len(to_compute)))
+                    ]
+                    with self._lock:
+                        self._stats["fused_process_batches"] += len(chunks)
+                        self._stats["fused_process_subbatch_sizes"] = self._stats[
+                            "fused_process_subbatch_sizes"
+                        ] + tuple(len(chunk) for chunk in chunks)
+                    batch_futures = [
+                        pool.submit(
+                            _process_worker_slice_batch,
+                            [spec for _key, spec in chunk],
+                            contexts,
+                            mode,
+                        )
+                        for chunk in chunks
+                    ]
+                    futures = {}
+                    for chunk, batch_future in zip(chunks, batch_futures):
+                        for position, (key, _spec) in enumerate(chunk):
+                            futures[key] = (batch_future, position)
+                    for key, (batch_future, position) in futures.items():
+                        computed[key] = self._install(
+                            "slice",
+                            key,
+                            self._rehydrate(batch_future.result()[position]),
+                        )
+                else:
+                    futures = {
+                        key: pool.submit(
+                            _process_worker_slice, kind, payload, contexts
+                        )
+                        for key, (kind, payload) in to_compute
+                    }
+                    for key, future in futures.items():
+                        # Workers ship slim results (no embedded front
+                        # half); re-attach this session's SDG/encoding
+                        # on install.
+                        computed[key] = self._install(
+                            "slice", key, self._rehydrate(future.result())
+                        )
         results = {}
         for key in unique:
             future = known.get(key)
@@ -986,20 +1090,41 @@ class SlicingSession(object):
                     artifacts.append(future.result())
         return artifacts
 
+    def _export_payload(self):
+        """This session's compiled PDS as a relocatable payload tuple,
+        for the process-pool initializer — or None (object kernel, or a
+        PDS outside the payload universe), in which case workers
+        compile for themselves."""
+        if self._compiled is None:
+            return None
+        from repro.pds.kernel import compiled_payload
+
+        try:
+            return compiled_payload(self._compiled)
+        except ValueError:
+            return None
+
 
 #: the per-process session a ProcessPoolExecutor worker slices through,
 #: built once by the pool initializer.
 _WORKER_SESSION = None
 
 
-def _process_worker_init(source, cache_dir, max_bytes, artifacts=(), kernel=None):
+def _process_worker_init(
+    source, cache_dir, max_bytes, artifacts=(), kernel=None, pds_payload=None
+):
     global _WORKER_SESSION
     store = None
     if cache_dir is not None:
         from repro.store import SliceStore
 
         store = SliceStore(cache_dir, max_bytes=max_bytes)
-    _WORKER_SESSION = SlicingSession(source, store=store, kernel=kernel)
+    # The parent's compiled PDS rides in as packed ints: the worker
+    # adopts it (``pds_payload_hits``) instead of recompiling — and a
+    # torn payload degrades to a recompile inside the session.
+    _WORKER_SESSION = SlicingSession(
+        source, store=store, kernel=kernel, compiled_payload=pds_payload
+    )
     # Warm artifacts shipped from the parent: install them into the
     # fresh memo so this worker never re-saturates what the parent (or
     # a sibling update) already computed.  The front half is rebuilt
@@ -1013,3 +1138,27 @@ def _process_worker_slice(kind, payload, contexts):
     # front half and rehydrates on install.
     result = _WORKER_SESSION._slice_resolved(kind, payload, contexts)
     return _WORKER_SESSION._slim(result)
+
+
+def _process_worker_slice_batch(specs, contexts, mode):
+    """One worker's whole sub-batch: fuse the cold criteria into one
+    kernel pass (same exclusion and counter semantics as the thread
+    path — :meth:`SlicingSession._fused_batch`), then compute each
+    slice; returns slim results in ``specs`` order."""
+    session = _WORKER_SESSION
+    if mode != kernelcfg.BATCH_OFF and session.kernel == kernelcfg.CSR:
+        session._fused_batch(
+            [
+                (canonical_key(kind, payload, contexts), kind, payload)
+                for kind, payload in specs
+            ],
+            contexts,
+            mode,
+            SAT_PRESTAR,
+            "slice",
+            prestar_many,
+        )
+    return [
+        session._slim(session._slice_resolved(kind, payload, contexts))
+        for kind, payload in specs
+    ]

@@ -24,9 +24,11 @@ from repro.fsa.automaton import FiniteAutomaton
 from repro.fsa.intcodec import (
     assemble_automaton,
     decode_automaton,
+    decode_packed_rows,
     encode_automaton,
     iter_bits,
     trim_bits,
+    trim_packed_rows,
 )
 
 
@@ -34,6 +36,91 @@ def trim_int(automaton):
     """Kernel twin of :meth:`FiniteAutomaton.trim`."""
     enc = encode_automaton(automaton)
     return decode_automaton(enc, keep_bits=trim_bits(enc))
+
+
+def query_view_int(automaton, initial):
+    """Kernel twin of :func:`repro.core.criteria.as_query_view`: the
+    same transitions read from a single ``initial`` state, trimmed —
+    one encode, one bitset trim, one decode, instead of copying the
+    whole P-automaton object-by-object and trimming the copy."""
+    enc = encode_automaton(automaton)
+    enc.initials_bits = 1 << enc.state_id(initial)
+    return decode_automaton(enc, keep_bits=trim_bits(enc))
+
+
+def intersection_int(left, right):
+    """Kernel twin of ``intersection(left, right).trim()``
+    (:func:`repro.fsa.ops.intersection`): the BFS product over dense
+    pair codes and packed rows, trimmed over bitsets, decoded to the
+    same ``(a, b)`` tuple states the object construction builds.  This
+    is the post-saturation read-out hot spot — the reachable-view ∩
+    criterion product of
+    :func:`repro.core.criteria.reachable_contexts_criterion` — where
+    the left operand is the program-sized reachable view."""
+    if left.has_epsilon() or right.has_epsilon():
+        raise ValueError("intersection requires epsilon-free automata")
+    lenc = encode_automaton(left)
+    renc = encode_automaton(right)
+    # Product symbols are left-symbol ids; a right symbol the left never
+    # uses cannot label a product transition.
+    sym_map = {}
+    for rsym, symbol in enumerate(renc.syms):
+        lsym = lenc.symidx.get(symbol)
+        if lsym is not None:
+            sym_map[lsym] = rsym
+    lrows = lenc.out
+    rrows = [dict(row) for row in renc.out]
+
+    pairs = []  # discovery-ordered (left id, right id)
+    index = {}
+    for a in iter_bits(lenc.initials_bits):
+        for b in iter_bits(renc.initials_bits):
+            index[(a, b)] = len(pairs)
+            pairs.append((a, b))
+    initials_bits = (1 << len(pairs)) - 1 if pairs else 0
+    finals_bits = 0
+    out_rows = []
+    position = 0
+    while position < len(pairs):
+        a, b = pairs[position]
+        brow = rrows[b]
+        row = {}
+        for lsym, abits in lrows[a]:
+            rsym = sym_map.get(lsym)
+            if rsym is None:
+                continue
+            bbits = brow.get(rsym)
+            if not bbits:
+                continue
+            targets = 0
+            for da in iter_bits(abits):
+                for db in iter_bits(bbits):
+                    pair = (da, db)
+                    j = index.get(pair)
+                    if j is None:
+                        j = index[pair] = len(pairs)
+                        pairs.append(pair)
+                    targets |= 1 << j
+            if targets:
+                row[lsym] = targets
+        out_rows.append(row)
+        if ((lenc.finals_bits >> a) & 1) and ((renc.finals_bits >> b) & 1):
+            finals_bits |= 1 << position
+        position += 1
+
+    present = (1 << len(pairs)) - 1 if pairs else 0
+    keep = trim_packed_rows(out_rows, initials_bits, finals_bits, present)
+    lstates = lenc.states
+    rstates = renc.states
+    return decode_packed_rows(
+        [(lstates[a], rstates[b]) for a, b in pairs],
+        lenc.syms,
+        out_rows,
+        None,
+        initials_bits,
+        finals_bits,
+        keep,
+    )
 
 
 def remove_epsilon_int(automaton):

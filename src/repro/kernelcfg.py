@@ -35,6 +35,13 @@ active and at least two criteria are cold; ``on`` forces the fused
 path even for a single cold criterion; ``off`` disables it.  The knob
 never changes results — fused projections are byte-identical to
 sequential runs — only how the work is scheduled.
+
+The ``slice_many`` worker-pool backend has a third knob,
+``REPRO_SLICE_BACKEND`` (``thread``/``process``, default ``thread``):
+the default backend used when no explicit ``backend=`` is passed, so a
+CI lane can run the whole suite through the process tier.  Like the
+others it only reschedules work — results and store bytes are pinned
+identical across backends.
 """
 
 import os
@@ -56,6 +63,14 @@ BATCH_MODES = (BATCH_AUTO, BATCH_ON, BATCH_OFF)
 BATCH_ENV_VAR = "REPRO_BATCH_SATURATION"
 
 
+THREAD = "thread"
+PROCESS = "process"
+BACKENDS = (THREAD, PROCESS)
+
+#: environment knob for the ``slice_many`` worker-pool backend
+BACKEND_ENV_VAR = "REPRO_SLICE_BACKEND"
+
+
 def current_kernel():
     """The kernel selected by the environment (``object`` when unset)."""
     return resolve_kernel(None)
@@ -74,6 +89,24 @@ def resolve_kernel(kernel):
             % (kernel, ", ".join(KERNELS))
         )
     return kernel
+
+
+def resolve_backend(backend):
+    """Validate an explicit ``slice_many`` backend name, or fall back
+    to the ``REPRO_SLICE_BACKEND`` environment default (``thread`` when
+    unset).  Raises ``ValueError`` on unknown names, mirroring
+    :func:`resolve_kernel`.  The knob exists so a CI lane can force the
+    process backend across a whole test run without touching call
+    sites; code that *must not* fork (e.g. work already running inside
+    a process-pool worker) pins ``backend="thread"`` explicitly."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or THREAD
+    if backend not in BACKENDS:
+        raise ValueError(
+            "unknown slice_many backend %r (expected one of %s)"
+            % (backend, ", ".join(BACKENDS))
+        )
+    return backend
 
 
 def resolve_batch(mode):

@@ -95,7 +95,10 @@ MAGIC = b"RSLC"
 #: first-class SaturationArtifact entries in the __sats__ table.
 #: v3: per-revision saturation indexes (layout + artifact records)
 #: beside __sats__ make artifacts discoverable across revisions.
-STORE_VERSION = 3
+#: v4: the relocatable compiled-PDS payload table (``__pds__``), keyed
+#: by front-half hash, so process-pool workers adopt packed rule
+#: arrays instead of recompiling.
+STORE_VERSION = 4
 
 _VERSION_STRUCT = struct.Struct(">H")
 _HEADER_LEN = len(MAGIC) + _VERSION_STRUCT.size + hashlib.sha256().digest_size
@@ -108,7 +111,10 @@ _FRONTHALF = "fronthalf"
 #: no collision)
 _PARTS_DIR = "__procs__"
 _SATS_DIR = "__sats__"
-_SPECIAL_DIRS = frozenset([_PARTS_DIR, _SATS_DIR])
+#: the compiled-PDS payload table (one relocatable
+#: ``repro.pds.kernel.compiled_payload`` tuple per front-half hash)
+_PDS_DIR = "__pds__"
+_SPECIAL_DIRS = frozenset([_PARTS_DIR, _SATS_DIR, _PDS_DIR])
 #: the per-revision saturation-index table (files in __sats__)
 _SAT_INDEX = "idx"
 #: the lifetime-counter sidecar, kept in __sats__ under a non-entry
@@ -142,6 +148,9 @@ _TIER_BY_TABLE = {
     "feature": TIER_RESULT,
     "feature_clean": TIER_RESULT,
     "proc": TIER_PROC,
+    # a compiled-PDS payload rebuilds in one compile pass — cheap, like
+    # a procedure part, and far cheaper than any saturation
+    "pds": TIER_PROC,
     _FRONTHALF: TIER_PRECIOUS,
     _SAT_INDEX: TIER_PRECIOUS,
 }
@@ -191,6 +200,8 @@ class SliceStore(object):
             "proc_misses": 0,
             "sat_hits": 0,
             "sat_misses": 0,
+            "pds_hits": 0,
+            "pds_misses": 0,
             "index_hits": 0,
             "index_misses": 0,
             "stores": 0,
@@ -341,6 +352,30 @@ class SliceStore(object):
         return self._has_valid_header(
             self._entry_path(_SATS_DIR, "sat", self.sat_name(src_hash, key_digest))
         )
+
+    # -- the compiled-PDS payload table ----------------------------------------
+
+    def get_pds(self, src_hash):
+        """The persisted compiled-PDS payload tuple
+        (:func:`repro.pds.kernel.compiled_payload`) for a front-half
+        hash, or None.  Counted by ``pds_hits``/``pds_misses``.  The
+        front half is deterministic from the source, so the payload is
+        too — any process with the same source adopts the same packed
+        arrays."""
+        value, ok = self._read(self._entry_path(_PDS_DIR, "pds", src_hash))
+        self._count("pds_hits" if ok else "pds_misses")
+        return value
+
+    def put_pds(self, src_hash, payload):
+        """Cache one compiled-PDS payload under its front-half hash."""
+        written = self._write(self._entry_path(_PDS_DIR, "pds", src_hash), payload)
+        self._count("stores")
+        self._note_written(written)
+
+    def has_pds(self, src_hash):
+        """Whether a plausibly valid payload exists (header-only check,
+        like :meth:`has_sat`)."""
+        return self._has_valid_header(self._entry_path(_PDS_DIR, "pds", src_hash))
 
     # -- the per-revision saturation index -------------------------------------
 
@@ -560,8 +595,8 @@ class SliceStore(object):
         sidecar.
 
         ``tables`` maps table name (``fronthalf``, ``slice``,
-        ``feature``, ``feature_clean``, ``proc``, ``sat``, ``idx``) to
-        entry count; ``table_bytes`` maps the same names to total
+        ``feature``, ``feature_clean``, ``proc``, ``sat``, ``idx``,
+        ``pds``) to entry count; ``table_bytes`` maps the same names to total
         bytes, so the new ``__sats__`` table (and every other one) is
         observable from ``repro cache stats``.
         """

@@ -127,3 +127,49 @@ def test_cli_handles_funcptr_files(tmp_path):
     path.write_text(FIG15_SOURCE)
     output = run_cli(["slice", str(path)])
     assert "indirect_1" in output
+
+
+def test_cache_stats_reports_payload_counters(fig16_file, tmp_path):
+    import json
+
+    cache = str(tmp_path / "cache")
+    run_cli(
+        [
+            "slice-batch",
+            fig16_file,
+            "--cache-dir",
+            cache,
+            "--kernel",
+            "csr",
+        ]
+    )
+    stats = json.loads(run_cli(["cache", "stats", "--cache-dir", cache, "--json"]))
+    assert "payload_hits" in stats["kernel"]
+    assert "payload_misses" in stats["kernel"]
+    # The batch compiled (and persisted) exactly one PDS payload.
+    assert stats["tables"].get("pds") == 1
+    plain = run_cli(["cache", "stats", "--cache-dir", cache])
+    assert "__pds__" in plain
+
+
+def test_slice_batch_reports_fused_process_counters(tmp_path):
+    from repro.workloads.wc import scaled_wc_source
+
+    path = tmp_path / "scaledwc.tc"
+    path.write_text(scaled_wc_source(3))
+    output = run_cli(
+        [
+            "slice-batch",
+            str(path),
+            "--kernel",
+            "csr",
+            "--backend",
+            "process",
+            "--batch-saturation",
+            "on",
+            "--jobs",
+            "2",
+        ]
+    )
+    assert "fused process:" in output
+    assert "compiled-PDS payload hits/misses" in output

@@ -205,11 +205,15 @@ def test_fused_sessions_byte_identical(seed, contexts):
         # empty-contexts mode (a pre-existing limitation on both
         # kernels, fused or not); the per-print criteria are.
         criteria = [c for c in criteria if c != "prints"]
+    # backend pinned to thread here and below: these tests assert the
+    # *in-parent* fused-pass counters (fused_batches & co.), which on
+    # the process backend move inside pool workers instead; the
+    # process-tier equivalents live in tests/test_pds_payload.py.
     fused_results = fused.slice_many(
-        criteria, contexts=contexts, batch_saturation="on"
+        criteria, contexts=contexts, batch_saturation="on", backend="thread"
     )
     plain_results = plain.slice_many(
-        criteria, contexts=contexts, batch_saturation="off"
+        criteria, contexts=contexts, batch_saturation="off", backend="thread"
     )
     for criterion, f, p in zip(criteria, fused_results, plain_results):
         tag = (seed, contexts, criterion)
@@ -236,10 +240,10 @@ def test_singleton_slice_many_fuses_only_when_forced():
     auto = SlicingSession(source, kernel="csr")
     # Auto mode (pinned explicitly, so a REPRO_BATCH_SATURATION=on
     # lane doesn't flip it): one cold criterion is not worth fusing.
-    auto.slice_many([("print", 0)], batch_saturation="auto")
+    auto.slice_many([("print", 0)], batch_saturation="auto", backend="thread")
     assert auto.stats["fused_batches"] == 0
     forced = SlicingSession(source, kernel="csr")
-    forced.slice_many([("print", 0)], batch_saturation="on")
+    forced.slice_many([("print", 0)], batch_saturation="on", backend="thread")
     assert forced.stats["fused_batches"] == 1
     assert forced.stats["fused_criteria"] == 1
     plain = SlicingSession(source, kernel="csr")
@@ -294,15 +298,15 @@ def test_warm_store_batch_skips_the_fused_pass(tmp_path):
     cache = str(tmp_path / "cache")
     writer = SlicingSession(source, store=SliceStore(cache), kernel="csr")
     criteria = _criteria(writer)
-    writer.slice_many(criteria, batch_saturation="on")
+    writer.slice_many(criteria, batch_saturation="on", backend="thread")
     assert writer.stats["fused_batches"] == 1
 
     reader = SlicingSession(source, store=SliceStore(cache), kernel="csr")
     reference = [
         (r.closure_elems(), automaton_to_payload(r.a6))
-        for r in writer.slice_many(criteria)
+        for r in writer.slice_many(criteria, backend="thread")
     ]
-    warm = reader.slice_many(criteria, batch_saturation="on")
+    warm = reader.slice_many(criteria, batch_saturation="on", backend="thread")
     assert [
         (r.closure_elems(), automaton_to_payload(r.a6)) for r in warm
     ] == reference
@@ -323,10 +327,10 @@ def test_sats_warm_batch_loads_instead_of_saturating(tmp_path):
     cache = str(tmp_path / "cache")
     writer = SlicingSession(source, store=SliceStore(cache), kernel="csr")
     criteria = _criteria(writer)
-    writer.slice_many(criteria, batch_saturation="on")
+    writer.slice_many(criteria, batch_saturation="on", backend="thread")
     reference = [
         (r.closure_elems(), automaton_to_payload(r.a6))
-        for r in writer.slice_many(criteria)
+        for r in writer.slice_many(criteria, backend="thread")
     ]
     # Drop the rendered slices; keep the saturation artifacts.
     src_dir = os.path.join(cache, writer.source_hash)
@@ -338,7 +342,7 @@ def test_sats_warm_batch_loads_instead_of_saturating(tmp_path):
     assert removed == len(set(criteria))
 
     reader = SlicingSession(source, store=SliceStore(cache), kernel="csr")
-    warm = reader.slice_many(criteria, batch_saturation="on")
+    warm = reader.slice_many(criteria, batch_saturation="on", backend="thread")
     assert [
         (r.closure_elems(), automaton_to_payload(r.a6)) for r in warm
     ] == reference
@@ -412,15 +416,48 @@ def test_resolve_batch_modes(monkeypatch):
 
 
 @pytest.mark.smoke
+def test_resolve_backend_modes(monkeypatch):
+    monkeypatch.delenv(kernelcfg.BACKEND_ENV_VAR, raising=False)
+    assert kernelcfg.resolve_backend(None) == kernelcfg.THREAD
+    assert kernelcfg.resolve_backend("process") == kernelcfg.PROCESS
+    monkeypatch.setenv(kernelcfg.BACKEND_ENV_VAR, "process")
+    assert kernelcfg.resolve_backend(None) == kernelcfg.PROCESS
+    assert kernelcfg.resolve_backend("thread") == kernelcfg.THREAD
+    with pytest.raises(ValueError):
+        kernelcfg.resolve_backend("greenlet")
+    monkeypatch.setenv(kernelcfg.BACKEND_ENV_VAR, "fiber")
+    with pytest.raises(ValueError):
+        kernelcfg.resolve_backend(None)
+
+
+def test_backend_env_var_routes_slice_many(monkeypatch):
+    source = _source(7)
+    monkeypatch.setenv(kernelcfg.BACKEND_ENV_VAR, "process")
+    monkeypatch.setenv(kernelcfg.BATCH_ENV_VAR, "on")
+    via_env = SlicingSession(source, kernel="csr")
+    results = via_env.slice_many(_criteria(via_env))
+    # The env knob sent the batch through the process tier...
+    assert via_env.stats["fused_process_batches"] >= 1
+    assert via_env.stats["fused_batches"] == 0
+    # ...with results identical to an explicit thread-backend run.
+    monkeypatch.delenv(kernelcfg.BACKEND_ENV_VAR)
+    threaded = SlicingSession(source, kernel="csr")
+    expected = threaded.slice_many(_criteria(threaded), backend="thread")
+    assert [r.version_counts() for r in results] == [
+        r.version_counts() for r in expected
+    ]
+
+
+@pytest.mark.smoke
 def test_env_var_gates_slice_many(monkeypatch):
     source = _source(7)
     monkeypatch.setenv(kernelcfg.BATCH_ENV_VAR, "off")
     off = SlicingSession(source, kernel="csr")
-    off.slice_many(_criteria(off))
+    off.slice_many(_criteria(off), backend="thread")
     assert off.stats["fused_batches"] == 0
     monkeypatch.setenv(kernelcfg.BATCH_ENV_VAR, "on")
     on = SlicingSession(source, kernel="csr")
-    on.slice_many(_criteria(on))
+    on.slice_many(_criteria(on), backend="thread")
     assert on.stats["fused_batches"] == 1
 
 
@@ -428,7 +465,7 @@ def test_env_var_gates_slice_many(monkeypatch):
 def test_compile_cache_counters():
     session = SlicingSession(_source(8), kernel="csr")
     assert session.stats["kernel_compile_misses"] == 1  # _hold_compiled
-    session.slice_many(_criteria(session), batch_saturation="on")
+    session.slice_many(_criteria(session), batch_saturation="on", backend="thread")
     stats = session.stats
     assert stats["kernel_compile_misses"] == 1
     assert stats["kernel_compile_hits"] >= 1

@@ -428,7 +428,7 @@ def test_stored_entries_are_slim(tmp_path):
             os.path.getsize(path),
             sizes.get(name.split("-")[0].replace(".slc", ""), 0),
         )
-    assert set(sizes) == {
+    expected = {
         "fronthalf",
         "slice",
         "feature",
@@ -437,7 +437,14 @@ def test_stored_entries_are_slim(tmp_path):
         "sat",
         "idx",
     }
-    for table in ("slice", "feature", "feature_clean", "proc", "sat", "idx"):
+    slim = ("slice", "feature", "feature_clean", "proc", "sat", "idx")
+    if session.kernel == "csr":
+        # The csr kernel additionally persists the compiled-PDS payload
+        # (flat int arrays — slim by construction).
+        expected.add("pds")
+        slim += ("pds",)
+    assert set(sizes) == expected
+    for table in slim:
         assert sizes[table] < sizes["fronthalf"], (
             "%s entry (%d bytes) should be slim, not embed another front "
             "half (%d bytes)" % (table, sizes[table], sizes["fronthalf"])
